@@ -1,0 +1,69 @@
+// Appendix D.2 (Theorem 62): the number of non-empty cells of an
+// arrangement of s linear polynomials over k variables is (s·d)^O(k) —
+// exponential in k, polynomial in s. The bench counts satisfiable sign
+// conditions by exhaustive Fourier-Motzkin-pruned enumeration.
+#include <benchmark/benchmark.h>
+
+#include "arith/cell.h"
+
+namespace {
+
+has::PolyBasis MakeBasis(int polys, int vars) {
+  has::PolyBasis basis;
+  for (int p = 0; p < polys; ++p) {
+    has::LinearExpr e;
+    // Spread hyperplanes: x_{p mod vars} - x_{(p+1) mod vars} - p.
+    e.AddTerm(p % vars, has::Rational(1));
+    if (vars > 1) e.AddTerm((p + 1) % vars, has::Rational(-1));
+    e.AddConstant(has::Rational(-p));
+    basis.Add(e);
+  }
+  return basis;
+}
+
+void BM_CellCount_Polys(benchmark::State& state) {
+  has::PolyBasis basis = MakeBasis(static_cast<int>(state.range(0)), 3);
+  int64_t cells = 0;
+  for (auto _ : state) {
+    cells = has::CountNonEmptyCells(basis);
+    benchmark::DoNotOptimize(cells);
+  }
+  state.counters["cells"] = static_cast<double>(cells);
+  state.counters["polys"] = static_cast<double>(basis.size());
+}
+
+void BM_CellCount_Vars(benchmark::State& state) {
+  has::PolyBasis basis = MakeBasis(5, static_cast<int>(state.range(0)));
+  int64_t cells = 0;
+  for (auto _ : state) {
+    cells = has::CountNonEmptyCells(basis);
+    benchmark::DoNotOptimize(cells);
+  }
+  state.counters["cells"] = static_cast<double>(cells);
+  state.counters["vars"] = static_cast<double>(state.range(0));
+}
+
+void BM_Projection(benchmark::State& state) {
+  // Fourier-Motzkin projection cost on chains of inequalities.
+  const int n = static_cast<int>(state.range(0));
+  has::LinearSystem system;
+  for (int i = 0; i + 1 < n; ++i) {
+    has::LinearExpr e;
+    e.AddTerm(i, has::Rational(1));
+    e.AddTerm(i + 1, has::Rational(-1));
+    system.Add(e, has::Relop::kLe);  // x_i <= x_{i+1}
+  }
+  for (auto _ : state) {
+    has::LinearSystem projected =
+        has::FourierMotzkin::Project(system, {0, n - 1});
+    benchmark::DoNotOptimize(projected);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_CellCount_Polys)->DenseRange(2, 7);
+BENCHMARK(BM_CellCount_Vars)->DenseRange(1, 4);
+BENCHMARK(BM_Projection)->RangeMultiplier(2)->Range(4, 32);
+
+BENCHMARK_MAIN();

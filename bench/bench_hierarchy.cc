@@ -1,0 +1,38 @@
+// Hierarchy-depth ablation (the h parameter of Tables 1 and 2): the
+// paper's bounds are towers/exponents in the depth of the task tree;
+// this bench sweeps depth at fixed schema size and reports the
+// verifier's work growth.
+#include <benchmark/benchmark.h>
+
+#include "core/verifier.h"
+#include "workloads.h"
+
+namespace {
+
+void BM_Depth(benchmark::State& state, bool with_sets) {
+  const int depth = static_cast<int>(state.range(0));
+  has::bench::Workload w = has::bench::MakeWorkload(
+      has::SchemaClass::kAcyclic, /*size=*/2, depth, with_sets,
+      /*with_arith=*/false);
+  has::VerifierOptions options;
+  options.max_nav_depth = 2;
+  has::VerifyResult result;
+  for (auto _ : state) {
+    result = has::Verify(w.system, w.property, options);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["rt_queries"] = static_cast<double>(result.stats.queries);
+  state.counters["product_states"] =
+      static_cast<double>(result.stats.product_states);
+  state.SetLabel(has::VerdictName(result.verdict));
+}
+
+void BM_Depth_NoSets(benchmark::State& s) { BM_Depth(s, false); }
+void BM_Depth_Sets(benchmark::State& s) { BM_Depth(s, true); }
+
+}  // namespace
+
+BENCHMARK(BM_Depth_NoSets)->DenseRange(1, 4);
+BENCHMARK(BM_Depth_Sets)->DenseRange(1, 3);
+
+BENCHMARK_MAIN();

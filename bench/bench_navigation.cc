@@ -1,0 +1,57 @@
+// Appendix C.3 / Theorems 56-58: growth of the navigation-set bound
+// h(T) per schema class. For fixed acyclic schemas h(T) is polynomial
+// in the variable count; for linearly-cyclic it is exponential in the
+// hierarchy depth; for cyclic it is a tower (saturates immediately).
+#include <benchmark/benchmark.h>
+
+#include "core/nav.h"
+#include "schema/fk_graph.h"
+#include "workloads.h"
+
+namespace {
+
+void BM_NavigationDepth(benchmark::State& state, has::SchemaClass cls) {
+  const int depth = static_cast<int>(state.range(0));
+  has::bench::Workload w =
+      has::bench::MakeWorkload(cls, /*size=*/3, depth, false, false);
+  std::vector<uint64_t> depths;
+  for (auto _ : state) {
+    depths = has::PaperNavigationDepths(w.system);
+    benchmark::DoNotOptimize(depths);
+  }
+  state.counters["h_root"] = static_cast<double>(depths[0]);
+  state.counters["saturated"] =
+      depths[0] >= has::kSaturated ? 1.0 : 0.0;
+}
+
+void BM_Nav_Acyclic(benchmark::State& s) {
+  BM_NavigationDepth(s, has::SchemaClass::kAcyclic);
+}
+void BM_Nav_LinearlyCyclic(benchmark::State& s) {
+  BM_NavigationDepth(s, has::SchemaClass::kLinearlyCyclic);
+}
+void BM_Nav_Cyclic(benchmark::State& s) {
+  BM_NavigationDepth(s, has::SchemaClass::kCyclic);
+}
+
+void BM_PathCounting(benchmark::State& state) {
+  // F(n) growth on the cyclic schema: exponential in n.
+  has::DatabaseSchema schema =
+      has::bench::CyclicSchema(static_cast<int>(state.range(0)));
+  has::FkGraph fk(schema);
+  uint64_t f = 0;
+  for (auto _ : state) {
+    f = fk.MaxPaths(12);
+    benchmark::DoNotOptimize(f);
+  }
+  state.counters["F(12)"] = static_cast<double>(f);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Nav_Acyclic)->DenseRange(1, 4);
+BENCHMARK(BM_Nav_LinearlyCyclic)->DenseRange(1, 4);
+BENCHMARK(BM_Nav_Cyclic)->DenseRange(1, 3);
+BENCHMARK(BM_PathCounting)->DenseRange(2, 6);
+
+BENCHMARK_MAIN();

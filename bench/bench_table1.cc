@@ -1,0 +1,63 @@
+// Table 1: space complexity of verification WITHOUT arithmetic, per
+// schema class × artifact-relation usage. The measured proxies for the
+// paper's space bounds are the verifier's explored product states,
+// coverability nodes and counter dimensions; the expected shape per row
+// is the paper's: acyclic < linearly-cyclic < cyclic growth in the spec
+// size N, and a further jump when artifact relations are on.
+#include <benchmark/benchmark.h>
+
+#include "core/verifier.h"
+#include "workloads.h"
+
+namespace {
+
+void RunCell(benchmark::State& state, has::SchemaClass schema_class,
+             bool with_sets) {
+  const int size = static_cast<int>(state.range(0));
+  has::bench::Workload w = has::bench::MakeWorkload(
+      schema_class, size, /*depth=*/2, with_sets, /*with_arith=*/false);
+  has::VerifierOptions options;
+  options.max_nav_depth = 2;
+  has::VerifyResult result;
+  for (auto _ : state) {
+    result = has::Verify(w.system, w.property, options);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["N"] = w.system.SizeMeasure();
+  state.counters["product_states"] =
+      static_cast<double>(result.stats.product_states);
+  state.counters["cov_nodes"] = static_cast<double>(result.stats.cov_nodes);
+  state.counters["counter_dims"] =
+      static_cast<double>(result.stats.counter_dims);
+  state.SetLabel(has::VerdictName(result.verdict));
+}
+
+void BM_Acyclic_NoSets(benchmark::State& s) {
+  RunCell(s, has::SchemaClass::kAcyclic, false);
+}
+void BM_Acyclic_Sets(benchmark::State& s) {
+  RunCell(s, has::SchemaClass::kAcyclic, true);
+}
+void BM_LinearlyCyclic_NoSets(benchmark::State& s) {
+  RunCell(s, has::SchemaClass::kLinearlyCyclic, false);
+}
+void BM_LinearlyCyclic_Sets(benchmark::State& s) {
+  RunCell(s, has::SchemaClass::kLinearlyCyclic, true);
+}
+void BM_Cyclic_NoSets(benchmark::State& s) {
+  RunCell(s, has::SchemaClass::kCyclic, false);
+}
+void BM_Cyclic_Sets(benchmark::State& s) {
+  RunCell(s, has::SchemaClass::kCyclic, true);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Acyclic_NoSets)->DenseRange(2, 5);
+BENCHMARK(BM_Acyclic_Sets)->DenseRange(2, 5);
+BENCHMARK(BM_LinearlyCyclic_NoSets)->DenseRange(2, 5);
+BENCHMARK(BM_LinearlyCyclic_Sets)->DenseRange(2, 5);
+BENCHMARK(BM_Cyclic_NoSets)->DenseRange(3, 5);
+BENCHMARK(BM_Cyclic_Sets)->DenseRange(3, 5);
+
+BENCHMARK_MAIN();

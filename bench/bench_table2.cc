@@ -1,0 +1,60 @@
+// Table 2: space complexity WITH arithmetic. Same families as Table 1
+// with linear-arithmetic guards switched on; additionally reports the
+// size of the Hierarchical Cell Decomposition — the paper's driver of
+// the extra exponential.
+#include <benchmark/benchmark.h>
+
+#include "core/verifier.h"
+#include "workloads.h"
+
+namespace {
+
+void RunCell(benchmark::State& state, has::SchemaClass schema_class,
+             bool with_sets) {
+  const int size = static_cast<int>(state.range(0));
+  has::bench::Workload w = has::bench::MakeWorkload(
+      schema_class, size, /*depth=*/2, with_sets, /*with_arith=*/true);
+  has::VerifierOptions options;
+  options.max_nav_depth = 2;
+  has::VerifyResult result;
+  for (auto _ : state) {
+    result = has::Verify(w.system, w.property, options);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["N"] = w.system.SizeMeasure();
+  state.counters["product_states"] =
+      static_cast<double>(result.stats.product_states);
+  state.counters["cov_nodes"] = static_cast<double>(result.stats.cov_nodes);
+  state.counters["hcd_polys"] = static_cast<double>(result.hcd_polys);
+  state.SetLabel(has::VerdictName(result.verdict));
+}
+
+void BM_Acyclic_Arith(benchmark::State& s) {
+  RunCell(s, has::SchemaClass::kAcyclic, false);
+}
+void BM_Acyclic_Sets_Arith(benchmark::State& s) {
+  RunCell(s, has::SchemaClass::kAcyclic, true);
+}
+void BM_LinearlyCyclic_Arith(benchmark::State& s) {
+  RunCell(s, has::SchemaClass::kLinearlyCyclic, false);
+}
+void BM_LinearlyCyclic_Sets_Arith(benchmark::State& s) {
+  RunCell(s, has::SchemaClass::kLinearlyCyclic, true);
+}
+void BM_Cyclic_Arith(benchmark::State& s) {
+  RunCell(s, has::SchemaClass::kCyclic, false);
+}
+void BM_Cyclic_Sets_Arith(benchmark::State& s) {
+  RunCell(s, has::SchemaClass::kCyclic, true);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Acyclic_Arith)->DenseRange(2, 4);
+BENCHMARK(BM_Acyclic_Sets_Arith)->DenseRange(2, 4);
+BENCHMARK(BM_LinearlyCyclic_Arith)->DenseRange(2, 4);
+BENCHMARK(BM_LinearlyCyclic_Sets_Arith)->DenseRange(2, 4);
+BENCHMARK(BM_Cyclic_Arith)->DenseRange(3, 4);
+BENCHMARK(BM_Cyclic_Sets_Arith)->DenseRange(3, 4);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// Section 4.2 substrate: Karp-Miller coverability and repeated
+// reachability scaling in the counter dimension — the artifact-relation
+// counter systems are exactly such VASS. The paper's bound is
+// exponential space in the dimension (Rackoff/Habermehl).
+#include <benchmark/benchmark.h>
+
+#include "vass/karp_miller.h"
+#include "vass/repeated.h"
+
+namespace {
+
+/// d independent producer/consumer counters plus a gate state.
+has::ExplicitVass MakeCounters(int d) {
+  has::ExplicitVass v(2);
+  for (int i = 0; i < d; ++i) {
+    v.AddAction(0, {{i, +1}}, 0);
+    v.AddAction(0, {{i, -1}}, 1);
+    v.AddAction(1, {{i, -1}}, 0);
+  }
+  return v;
+}
+
+void BM_Coverability(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  has::ExplicitVass v = MakeCounters(d);
+  size_t nodes = 0;
+  for (auto _ : state) {
+    has::KarpMiller km(&v, {});
+    km.Build({0});
+    nodes = km.num_nodes();
+    benchmark::DoNotOptimize(nodes);
+  }
+  state.counters["cov_nodes"] = static_cast<double>(nodes);
+}
+
+void BM_RepeatedReachability(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  has::ExplicitVass v = MakeCounters(d);
+  has::KarpMiller km(&v, {});
+  km.Build({0});
+  bool found = false;
+  for (auto _ : state) {
+    auto lasso = has::FindAcceptingLasso(
+        km, [](int s) { return s == 1; });
+    found = lasso.has_value();
+    benchmark::DoNotOptimize(found);
+  }
+  state.counters["lasso"] = found ? 1.0 : 0.0;
+}
+
+}  // namespace
+
+BENCHMARK(BM_Coverability)->DenseRange(1, 6);
+BENCHMARK(BM_RepeatedReachability)->DenseRange(1, 6);
+
+BENCHMARK_MAIN();

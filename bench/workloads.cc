@@ -1,0 +1,173 @@
+#include "workloads.h"
+
+#include "common/strings.h"
+
+namespace has {
+namespace bench {
+
+DatabaseSchema AcyclicSchema(int size) {
+  // A star/snowflake chain: R0 -> R1 -> ... -> R_{size-1}.
+  DatabaseSchema schema;
+  for (int i = 0; i < size; ++i) {
+    schema.AddRelation(StrCat("R", i));
+  }
+  for (int i = 0; i + 1 < size; ++i) {
+    schema.relation(i).AddForeignKey("next", i + 1);
+  }
+  schema.relation(size - 1).AddNumericAttribute("val");
+  return schema;
+}
+
+DatabaseSchema LinearlyCyclicSchema(int size) {
+  // One simple cycle R0 -> R1 -> ... -> R_{size-1} -> R0 (each relation
+  // on exactly one cycle), plus a numeric attribute.
+  DatabaseSchema schema;
+  for (int i = 0; i < size; ++i) {
+    schema.AddRelation(StrCat("R", i));
+  }
+  for (int i = 0; i < size; ++i) {
+    schema.relation(i).AddForeignKey("next", (i + 1) % size);
+  }
+  schema.relation(0).AddNumericAttribute("val");
+  return schema;
+}
+
+DatabaseSchema CyclicSchema(int size) {
+  // Dense cycles: every relation references two others.
+  DatabaseSchema schema;
+  for (int i = 0; i < size; ++i) {
+    schema.AddRelation(StrCat("R", i));
+  }
+  for (int i = 0; i < size; ++i) {
+    schema.relation(i).AddForeignKey("a", (i + 1) % size);
+    schema.relation(i).AddForeignKey("b", (i + 2) % size);
+  }
+  schema.relation(0).AddNumericAttribute("val");
+  return schema;
+}
+
+Workload MakeWorkload(SchemaClass schema_class, int size, int depth,
+                      bool with_sets, bool with_arith) {
+  Workload w;
+  switch (schema_class) {
+    case SchemaClass::kAcyclic:
+      w.system.schema() = AcyclicSchema(size);
+      break;
+    case SchemaClass::kLinearlyCyclic:
+      w.system.schema() = LinearlyCyclicSchema(size);
+      break;
+    case SchemaClass::kCyclic:
+      w.system.schema() = CyclicSchema(size);
+      break;
+  }
+  w.name = StrCat(SchemaClassName(schema_class), "/n", size, "/h", depth,
+                  with_sets ? "/sets" : "", with_arith ? "/arith" : "");
+
+  // A chain of tasks T0 (root) ⊃ T1 ⊃ ... ⊃ T_{depth-1}. Each task owns
+  // an ID variable x navigated through R0 and a numeric amount; child
+  // tasks receive x and report a numeric flag back.
+  TaskId prev = kNoTask;
+  for (int level = 0; level < depth; ++level) {
+    TaskId t = w.system.AddTask(StrCat("T", level), prev);
+    Task& task = w.system.task(t);
+    int x = task.vars().AddVar("x", VarSort::kId);
+    int amount = task.vars().AddVar("amount", VarSort::kNumeric);
+    if (level > 0) {
+      task.AddInput(x, /*parent x=*/0);
+      task.AddOutput(/*parent amount=*/1, amount);
+      task.SetOpeningPre(Condition::Not(Condition::IsNull(0)));
+      CondPtr close_cond;
+      if (with_arith) {
+        // amount >= 1, i.e. 1 - amount <= 0.
+        LinearExpr e = LinearExpr::Constant(Rational(1));
+        e.AddTerm(amount, Rational(-1));
+        close_cond = Condition::Arith(LinearConstraint{e, Relop::kLe});
+      } else {
+        LinearExpr e = LinearExpr::Var(amount);
+        e.AddConstant(Rational(-1));
+        close_cond = Condition::Arith(LinearConstraint{e, Relop::kEq});
+      }
+      task.SetClosingPre(close_cond);
+    }
+    // Work service: bind x to a tuple of R0 and update amount.
+    {
+      InternalService svc;
+      svc.name = "work";
+      svc.pre = Condition::True();
+      std::vector<int> args{x};
+      const Relation& r0 = w.system.schema().relation(0);
+      // Extra variables for the relation atom's non-ID attributes.
+      for (int a = 1; a < r0.arity(); ++a) {
+        if (r0.attr(a).kind == AttrKind::kNumeric) {
+          args.push_back(task.vars().AddVar(StrCat("n", a),
+                                            VarSort::kNumeric));
+        } else {
+          args.push_back(task.vars().AddVar(StrCat("f", a), VarSort::kId));
+        }
+      }
+      CondPtr post = Condition::Rel(0, args);
+      if (with_arith) {
+        LinearExpr e = LinearExpr::Constant(Rational(1));
+        e.AddTerm(amount, Rational(-1));
+        post = Condition::And(
+            post, Condition::Arith(LinearConstraint{e, Relop::kLe}));
+      } else {
+        LinearExpr e = LinearExpr::Var(amount);
+        e.AddConstant(Rational(-1));
+        post = Condition::And(
+            post, Condition::Arith(LinearConstraint{e, Relop::kEq}));
+      }
+      svc.post = std::move(post);
+      task.AddInternalService(std::move(svc));
+    }
+    if (with_sets) {
+      task.DeclareSet({x});
+      InternalService store;
+      store.name = "store";
+      store.pre = Condition::Not(Condition::IsNull(x));
+      store.post = Condition::True();
+      store.inserts = true;
+      task.AddInternalService(std::move(store));
+      InternalService load;
+      load.name = "load";
+      load.pre = Condition::True();
+      load.post = Condition::Not(Condition::IsNull(x));
+      load.retrieves = true;
+      task.AddInternalService(std::move(load));
+    }
+    prev = t;
+  }
+
+  // Property: a nested [·]@T chain of depth `depth` exercising the
+  // hierarchical machinery. Node `level` is over task `level` and
+  // (below the root) claims "eventually the child's subrun / the amount
+  // flag". Nodes are added root-first so node indices equal task ids.
+  auto amount_atom = [&]() {
+    LinearExpr e = LinearExpr::Var(1);  // amount
+    e.AddConstant(Rational(-1));
+    return HltlProp::Cond(Condition::Arith(LinearConstraint{
+        std::move(e), with_arith ? Relop::kLe : Relop::kEq}));
+  };
+  for (int level = 0; level < depth; ++level) {
+    HltlNode node;
+    node.task = level;
+    if (level < depth - 1) {
+      node.props.push_back(HltlProp::Child(level + 1));
+    } else {
+      node.props.push_back(amount_atom());
+    }
+    LtlPtr body = LtlFormula::Eventually(LtlFormula::Prop(0));
+    if (level == 0) {
+      // Root claim: the chain of child obligations never discharges.
+      // Its negation (what the verifier searches for) forces the
+      // exploration to recurse through every level of the hierarchy.
+      body = LtlFormula::Always(LtlFormula::Not(LtlFormula::Prop(0)));
+    }
+    node.skeleton = std::move(body);
+    w.property.AddNode(std::move(node));
+  }
+  return w;
+}
+
+}  // namespace bench
+}  // namespace has

@@ -1,0 +1,39 @@
+// Scalable HAS families regenerating the rows of the paper's Tables 1
+// and 2: one family per schema class ({acyclic, linearly-cyclic,
+// cyclic}) × {without, with artifact relations} × {without, with
+// arithmetic}, parameterized by a size knob and hierarchy depth. The
+// benchmark harness verifies a canonical safety property on each family
+// member and reports the verifier's work (product states, coverability
+// nodes, counter dimensions) — the measurable proxy for the paper's
+// space bounds.
+#ifndef HAS_BENCH_WORKLOADS_H_
+#define HAS_BENCH_WORKLOADS_H_
+
+#include "hltl/hltl.h"
+#include "model/artifact_system.h"
+
+namespace has {
+namespace bench {
+
+struct Workload {
+  ArtifactSystem system;
+  HltlProperty property;
+  std::string name;
+};
+
+/// Schema builders per class. `size` scales the number of relations.
+DatabaseSchema AcyclicSchema(int size);
+DatabaseSchema LinearlyCyclicSchema(int size);
+DatabaseSchema CyclicSchema(int size);
+
+/// A depth-`depth` chain of tasks over the given schema; every task has
+/// `width` extra ID variables navigating the schema, and optionally an
+/// artifact relation and/or a linear-arithmetic guard. The property is
+/// a hierarchical safety formula spanning all levels.
+Workload MakeWorkload(SchemaClass schema_class, int size, int depth,
+                      bool with_sets, bool with_arith);
+
+}  // namespace bench
+}  // namespace has
+
+#endif  // HAS_BENCH_WORKLOADS_H_

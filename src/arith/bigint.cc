@@ -1,0 +1,263 @@
+#include "arith/bigint.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/hashing.h"
+#include "common/status.h"
+
+namespace has {
+
+BigInt::BigInt(int64_t value) : negative_(value < 0) {
+  uint64_t mag =
+      value < 0 ? ~static_cast<uint64_t>(value) + 1 : static_cast<uint64_t>(value);
+  while (mag != 0) {
+    limbs_.push_back(static_cast<uint32_t>(mag & 0xffffffffu));
+    mag >>= 32;
+  }
+}
+
+BigInt BigInt::FromString(const std::string& text) {
+  BigInt out;
+  size_t i = 0;
+  bool neg = false;
+  if (i < text.size() && (text[i] == '-' || text[i] == '+')) {
+    neg = text[i] == '-';
+    ++i;
+  }
+  BigInt ten(10);
+  for (; i < text.size(); ++i) {
+    HAS_CHECK_MSG(text[i] >= '0' && text[i] <= '9', "bad digit in BigInt");
+    out = out * ten + BigInt(text[i] - '0');
+  }
+  if (neg && !out.is_zero()) out.negative_ = true;
+  return out;
+}
+
+void BigInt::Trim(std::vector<uint32_t>* limbs) {
+  while (!limbs->empty() && limbs->back() == 0) limbs->pop_back();
+}
+
+int BigInt::CompareMagnitude(const std::vector<uint32_t>& a,
+                             const std::vector<uint32_t>& b) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+std::vector<uint32_t> BigInt::AddMagnitude(const std::vector<uint32_t>& a,
+                                           const std::vector<uint32_t>& b) {
+  std::vector<uint32_t> out;
+  out.reserve(std::max(a.size(), b.size()) + 1);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < std::max(a.size(), b.size()); ++i) {
+    uint64_t sum = carry;
+    if (i < a.size()) sum += a[i];
+    if (i < b.size()) sum += b[i];
+    out.push_back(static_cast<uint32_t>(sum & 0xffffffffu));
+    carry = sum >> 32;
+  }
+  if (carry != 0) out.push_back(static_cast<uint32_t>(carry));
+  return out;
+}
+
+std::vector<uint32_t> BigInt::SubMagnitude(const std::vector<uint32_t>& a,
+                                           const std::vector<uint32_t>& b) {
+  std::vector<uint32_t> out;
+  out.reserve(a.size());
+  int64_t borrow = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    int64_t diff = static_cast<int64_t>(a[i]) - borrow -
+                   (i < b.size() ? static_cast<int64_t>(b[i]) : 0);
+    if (diff < 0) {
+      diff += (INT64_C(1) << 32);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.push_back(static_cast<uint32_t>(diff));
+  }
+  Trim(&out);
+  return out;
+}
+
+std::vector<uint32_t> BigInt::MulMagnitude(const std::vector<uint32_t>& a,
+                                           const std::vector<uint32_t>& b) {
+  if (a.empty() || b.empty()) return {};
+  std::vector<uint32_t> out(a.size() + b.size(), 0);
+  for (size_t i = 0; i < a.size(); ++i) {
+    uint64_t carry = 0;
+    for (size_t j = 0; j < b.size(); ++j) {
+      uint64_t cur = static_cast<uint64_t>(a[i]) * b[j] + out[i + j] + carry;
+      out[i + j] = static_cast<uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+    }
+    size_t k = i + b.size();
+    while (carry != 0) {
+      uint64_t cur = out[k] + carry;
+      out[k] = static_cast<uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  Trim(&out);
+  return out;
+}
+
+std::vector<uint32_t> BigInt::DivMagnitude(const std::vector<uint32_t>& a,
+                                           const std::vector<uint32_t>& b,
+                                           std::vector<uint32_t>* rem) {
+  HAS_CHECK_MSG(!b.empty(), "BigInt division by zero");
+  if (CompareMagnitude(a, b) < 0) {
+    *rem = a;
+    Trim(rem);
+    return {};
+  }
+  // Bit-by-bit long division: simple and obviously correct; coefficient
+  // sizes in this library stay small enough that O(bits * limbs) is
+  // never a bottleneck.
+  std::vector<uint32_t> quotient(a.size(), 0);
+  std::vector<uint32_t> remainder;
+  for (size_t bit_index = a.size() * 32; bit_index-- > 0;) {
+    // remainder <<= 1 | bit
+    uint32_t bit = (a[bit_index / 32] >> (bit_index % 32)) & 1u;
+    uint32_t carry = bit;
+    for (size_t i = 0; i < remainder.size(); ++i) {
+      uint32_t next_carry = remainder[i] >> 31;
+      remainder[i] = (remainder[i] << 1) | carry;
+      carry = next_carry;
+    }
+    if (carry != 0) remainder.push_back(carry);
+    Trim(&remainder);
+    if (CompareMagnitude(remainder, b) >= 0) {
+      remainder = SubMagnitude(remainder, b);
+      quotient[bit_index / 32] |= (1u << (bit_index % 32));
+    }
+  }
+  Trim(&quotient);
+  *rem = std::move(remainder);
+  return quotient;
+}
+
+BigInt BigInt::operator-() const {
+  BigInt out = *this;
+  if (!out.is_zero()) out.negative_ = !out.negative_;
+  return out;
+}
+
+BigInt BigInt::operator+(const BigInt& o) const {
+  BigInt out;
+  if (negative_ == o.negative_) {
+    out.limbs_ = AddMagnitude(limbs_, o.limbs_);
+    out.negative_ = negative_;
+  } else {
+    int cmp = CompareMagnitude(limbs_, o.limbs_);
+    if (cmp == 0) return BigInt();
+    if (cmp > 0) {
+      out.limbs_ = SubMagnitude(limbs_, o.limbs_);
+      out.negative_ = negative_;
+    } else {
+      out.limbs_ = SubMagnitude(o.limbs_, limbs_);
+      out.negative_ = o.negative_;
+    }
+  }
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::operator-(const BigInt& o) const { return *this + (-o); }
+
+BigInt BigInt::operator*(const BigInt& o) const {
+  BigInt out;
+  out.limbs_ = MulMagnitude(limbs_, o.limbs_);
+  out.negative_ = !out.limbs_.empty() && (negative_ != o.negative_);
+  return out;
+}
+
+BigInt BigInt::operator/(const BigInt& o) const {
+  BigInt out;
+  std::vector<uint32_t> rem;
+  out.limbs_ = DivMagnitude(limbs_, o.limbs_, &rem);
+  out.negative_ = !out.limbs_.empty() && (negative_ != o.negative_);
+  return out;
+}
+
+BigInt BigInt::operator%(const BigInt& o) const {
+  BigInt out;
+  std::vector<uint32_t> rem;
+  DivMagnitude(limbs_, o.limbs_, &rem);
+  out.limbs_ = std::move(rem);
+  out.negative_ = !out.limbs_.empty() && negative_;
+  return out;
+}
+
+bool BigInt::operator<(const BigInt& o) const {
+  if (negative_ != o.negative_) return negative_;
+  int cmp = CompareMagnitude(limbs_, o.limbs_);
+  return negative_ ? cmp > 0 : cmp < 0;
+}
+
+BigInt BigInt::Gcd(BigInt a, BigInt b) {
+  a = a.Abs();
+  b = b.Abs();
+  while (!b.is_zero()) {
+    BigInt r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+BigInt BigInt::Abs() const {
+  BigInt out = *this;
+  out.negative_ = false;
+  return out;
+}
+
+double BigInt::ToDouble() const {
+  double out = 0;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    out = out * 4294967296.0 + static_cast<double>(limbs_[i]);
+  }
+  return negative_ ? -out : out;
+}
+
+bool BigInt::FitsInt64(int64_t* out) const {
+  if (limbs_.size() > 2) return false;
+  uint64_t mag = 0;
+  if (limbs_.size() >= 1) mag = limbs_[0];
+  if (limbs_.size() == 2) mag |= static_cast<uint64_t>(limbs_[1]) << 32;
+  if (negative_) {
+    if (mag > (UINT64_C(1) << 63)) return false;
+    *out = -static_cast<int64_t>(mag);
+  } else {
+    if (mag >= (UINT64_C(1) << 63)) return false;
+    *out = static_cast<int64_t>(mag);
+  }
+  return true;
+}
+
+std::string BigInt::ToString() const {
+  if (is_zero()) return "0";
+  std::string digits;
+  std::vector<uint32_t> mag = limbs_;
+  const std::vector<uint32_t> ten = {10};
+  while (!mag.empty()) {
+    std::vector<uint32_t> rem;
+    mag = DivMagnitude(mag, ten, &rem);
+    digits.push_back(static_cast<char>('0' + (rem.empty() ? 0 : rem[0])));
+  }
+  if (negative_) digits.push_back('-');
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+size_t BigInt::Hash() const {
+  size_t seed = negative_ ? 1 : 0;
+  for (uint32_t limb : limbs_) HashMix(&seed, limb);
+  return seed;
+}
+
+}  // namespace has

@@ -1,0 +1,86 @@
+// Arbitrary-precision signed integers (sign-magnitude, base 2^32).
+// Fourier–Motzkin elimination multiplies constraint coefficients
+// pairwise, so coefficient growth is exponential in the number of
+// eliminated variables; exact big integers keep the quantifier
+// elimination of Section 5 sound.
+#ifndef HAS_ARITH_BIGINT_H_
+#define HAS_ARITH_BIGINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace has {
+
+class BigInt {
+ public:
+  BigInt() : negative_(false) {}
+  BigInt(int64_t value);  // NOLINT: implicit by design (literals)
+
+  static BigInt FromString(const std::string& text);
+
+  bool is_zero() const { return limbs_.empty(); }
+  bool is_negative() const { return negative_; }
+  int sign() const { return is_zero() ? 0 : (negative_ ? -1 : 1); }
+
+  BigInt operator-() const;
+  BigInt operator+(const BigInt& o) const;
+  BigInt operator-(const BigInt& o) const;
+  BigInt operator*(const BigInt& o) const;
+  /// Truncated division (C semantics: quotient rounds toward zero).
+  BigInt operator/(const BigInt& o) const;
+  BigInt operator%(const BigInt& o) const;
+
+  BigInt& operator+=(const BigInt& o) { return *this = *this + o; }
+  BigInt& operator-=(const BigInt& o) { return *this = *this - o; }
+  BigInt& operator*=(const BigInt& o) { return *this = *this * o; }
+
+  bool operator==(const BigInt& o) const {
+    return negative_ == o.negative_ && limbs_ == o.limbs_;
+  }
+  bool operator!=(const BigInt& o) const { return !(*this == o); }
+  bool operator<(const BigInt& o) const;
+  bool operator<=(const BigInt& o) const { return !(o < *this); }
+  bool operator>(const BigInt& o) const { return o < *this; }
+  bool operator>=(const BigInt& o) const { return !(*this < o); }
+
+  static BigInt Gcd(BigInt a, BigInt b);
+  BigInt Abs() const;
+
+  /// Approximate double value (may overflow to +/-inf).
+  double ToDouble() const;
+  /// Exact value if it fits in int64, otherwise nullopt behaviour via
+  /// ok=false.
+  bool FitsInt64(int64_t* out) const;
+
+  std::string ToString() const;
+  size_t Hash() const;
+
+ private:
+  static int CompareMagnitude(const std::vector<uint32_t>& a,
+                              const std::vector<uint32_t>& b);
+  static std::vector<uint32_t> AddMagnitude(const std::vector<uint32_t>& a,
+                                            const std::vector<uint32_t>& b);
+  /// Requires |a| >= |b|.
+  static std::vector<uint32_t> SubMagnitude(const std::vector<uint32_t>& a,
+                                            const std::vector<uint32_t>& b);
+  static std::vector<uint32_t> MulMagnitude(const std::vector<uint32_t>& a,
+                                            const std::vector<uint32_t>& b);
+  /// Schoolbook division of magnitudes: returns quotient, sets *rem.
+  static std::vector<uint32_t> DivMagnitude(const std::vector<uint32_t>& a,
+                                            const std::vector<uint32_t>& b,
+                                            std::vector<uint32_t>* rem);
+  static void Trim(std::vector<uint32_t>* limbs);
+
+  void Normalize() {
+    Trim(&limbs_);
+    if (limbs_.empty()) negative_ = false;
+  }
+
+  bool negative_;
+  std::vector<uint32_t> limbs_;  // little-endian, base 2^32, no leading 0
+};
+
+}  // namespace has
+
+#endif  // HAS_ARITH_BIGINT_H_

@@ -1,0 +1,100 @@
+#include "arith/hcd.h"
+
+#include <functional>
+#include <set>
+
+#include "common/status.h"
+
+namespace has {
+
+std::vector<LinearExpr> ProjectArrangement(const std::vector<LinearExpr>& polys,
+                                           ArithVar var) {
+  std::vector<LinearExpr> with;
+  std::vector<LinearExpr> out;
+  for (const LinearExpr& p : polys) {
+    if (p.Coef(var).is_zero()) {
+      out.push_back(p);
+    } else {
+      with.push_back(p);
+    }
+  }
+  // For any two polynomials p, q with nonzero coefficient on var, the
+  // combination a_q·p − a_p·q cancels var. Every constraint a cell
+  // projection can introduce (both the lower×upper combinations and the
+  // equality substitutions of Fourier–Motzkin) is of this shape.
+  for (size_t i = 0; i < with.size(); ++i) {
+    for (size_t j = i + 1; j < with.size(); ++j) {
+      Rational ai = with[i].Coef(var);
+      Rational aj = with[j].Coef(var);
+      LinearExpr combo = with[i] * aj - with[j] * ai;
+      if (!combo.IsConstant()) out.push_back(std::move(combo));
+    }
+  }
+  return out;
+}
+
+Hcd Hcd::Build(const std::vector<HcdNode>& nodes, int root) {
+  Hcd hcd;
+  hcd.basis_.resize(nodes.size());
+  std::vector<bool> done(nodes.size(), false);
+
+  std::function<void(int)> build = [&](int n) {
+    const HcdNode& node = nodes[n];
+    for (size_t ci = 0; ci < node.children.size(); ++ci) {
+      if (!done[node.children[ci]]) build(node.children[ci]);
+    }
+    PolyBasis& basis = hcd.basis_[n];
+    for (const LinearExpr& p : node.own_polys) {
+      if (!p.IsConstant()) basis.Add(p);
+    }
+    // Fold in each child's basis: rename shared variables into the
+    // parent's numbering, then eliminate child-local variables by the
+    // arrangement projection.
+    for (size_t ci = 0; ci < node.children.size(); ++ci) {
+      const PolyBasis& child_basis = hcd.basis_[node.children[ci]];
+      const std::map<ArithVar, ArithVar>& var_map =
+          node.child_var_to_parent[ci];
+      // Child-local variables get fresh negative indices so they cannot
+      // collide with parent variables, then are projected away.
+      std::map<ArithVar, ArithVar> rename = var_map;
+      std::set<ArithVar> locals;
+      ArithVar next_local = -1;
+      for (const LinearExpr& p : child_basis.polys()) {
+        for (ArithVar v : p.Vars()) {
+          if (!rename.count(v)) {
+            rename[v] = next_local;
+            locals.insert(next_local);
+            --next_local;
+          }
+        }
+      }
+      std::vector<LinearExpr> projected;
+      projected.reserve(child_basis.size());
+      for (const LinearExpr& p : child_basis.polys()) {
+        projected.push_back(p.Rename(rename));
+      }
+      for (ArithVar local : locals) {
+        projected = ProjectArrangement(projected, local);
+      }
+      for (const LinearExpr& p : projected) {
+        if (!p.IsConstant()) basis.Add(p);
+      }
+    }
+    done[n] = true;
+  };
+  build(root);
+  // Nodes unreachable from root still get their own polynomials so
+  // callers can query them uniformly.
+  for (size_t n = 0; n < nodes.size(); ++n) {
+    if (!done[n]) build(static_cast<int>(n));
+  }
+  return hcd;
+}
+
+int Hcd::TotalPolys() const {
+  int total = 0;
+  for (const PolyBasis& b : basis_) total += b.size();
+  return total;
+}
+
+}  // namespace has

@@ -1,0 +1,64 @@
+// Hierarchical Cell Decomposition (Section 5 / Appendix D.4). For every
+// node of a task hierarchy, the HCD collects the polynomials of the
+// node's own arithmetic constraints together with the projections of
+// its children's polynomials onto the variables shared with the parent
+// (input/return variable mappings). The projection step uses the
+// Fourier–Motzkin combination closure — the linear-fragment analogue of
+// the Tarski–Seidenberg projection in the paper.
+//
+// The HCD is what allows the verifier to replace retroactive cell
+// intersection with local refinement checks: the parent's basis already
+// contains every polynomial a child cell could impose on shared
+// variables.
+#ifndef HAS_ARITH_HCD_H_
+#define HAS_ARITH_HCD_H_
+
+#include <map>
+#include <vector>
+
+#include "arith/cell.h"
+#include "arith/linear.h"
+
+namespace has {
+
+/// One node of the abstract hierarchy: the node's own polynomials over
+/// its private variable numbering, its children (indices into the node
+/// array) and, per child, the renaming of shared child variables into
+/// the parent's numbering (child vars absent from the map are local to
+/// the child and get projected away).
+struct HcdNode {
+  std::vector<LinearExpr> own_polys;
+  std::vector<int> children;
+  std::vector<std::map<ArithVar, ArithVar>> child_var_to_parent;
+};
+
+class Hcd {
+ public:
+  /// Builds the decomposition bottom-up from `root`.
+  /// `projection_rounds` bounds the pairwise Fourier–Motzkin combination
+  /// closure used when eliminating child-local variables (1 round
+  /// eliminates each local variable once; this is exact for the linear
+  /// fragment since elimination is per-variable complete).
+  static Hcd Build(const std::vector<HcdNode>& nodes, int root);
+
+  const PolyBasis& basis(int node) const { return basis_[node]; }
+  int num_nodes() const { return static_cast<int>(basis_.size()); }
+
+  /// Total number of basis polynomials across nodes (bench metric).
+  int TotalPolys() const;
+
+ private:
+  std::vector<PolyBasis> basis_;
+};
+
+/// Projects an arrangement of polynomials: eliminates `var` from `polys`
+/// by keeping var-free polynomials and adding all pairwise combinations
+/// that cancel var. This is the arrangement-level analogue of one
+/// Fourier–Motzkin round and covers the projection of every cell of the
+/// arrangement.
+std::vector<LinearExpr> ProjectArrangement(const std::vector<LinearExpr>& polys,
+                                           ArithVar var);
+
+}  // namespace has
+
+#endif  // HAS_ARITH_HCD_H_

@@ -1,0 +1,87 @@
+#include "arith/rational.h"
+
+#include <cmath>
+
+#include "common/hashing.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace has {
+
+Rational::Rational(BigInt num, BigInt den)
+    : num_(std::move(num)), den_(std::move(den)) {
+  HAS_CHECK_MSG(!den_.is_zero(), "Rational with zero denominator");
+  Normalize();
+}
+
+void Rational::Normalize() {
+  if (den_.is_negative()) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  if (num_.is_zero()) {
+    den_ = BigInt(1);
+    return;
+  }
+  BigInt g = BigInt::Gcd(num_, den_);
+  if (g != BigInt(1)) {
+    num_ = num_ / g;
+    den_ = den_ / g;
+  }
+}
+
+Rational Rational::FromDouble(double x) {
+  HAS_CHECK_MSG(std::isfinite(x), "Rational from non-finite double");
+  // Exact binary expansion: x = m * 2^e with integer m.
+  int exp = 0;
+  double mantissa = std::frexp(x, &exp);
+  // Scale mantissa to an integer (53 bits of precision).
+  int64_t m = static_cast<int64_t>(std::ldexp(mantissa, 53));
+  exp -= 53;
+  BigInt num(m);
+  BigInt den(1);
+  BigInt two(2);
+  for (; exp > 0; --exp) num = num * two;
+  for (; exp < 0; ++exp) den = den * two;
+  return Rational(std::move(num), std::move(den));
+}
+
+Rational Rational::operator-() const {
+  Rational out = *this;
+  out.num_ = -out.num_;
+  return out;
+}
+
+Rational Rational::operator+(const Rational& o) const {
+  return Rational(num_ * o.den_ + o.num_ * den_, den_ * o.den_);
+}
+
+Rational Rational::operator-(const Rational& o) const {
+  return Rational(num_ * o.den_ - o.num_ * den_, den_ * o.den_);
+}
+
+Rational Rational::operator*(const Rational& o) const {
+  return Rational(num_ * o.num_, den_ * o.den_);
+}
+
+Rational Rational::operator/(const Rational& o) const {
+  HAS_CHECK_MSG(!o.is_zero(), "Rational division by zero");
+  return Rational(num_ * o.den_, den_ * o.num_);
+}
+
+bool Rational::operator<(const Rational& o) const {
+  return num_ * o.den_ < o.num_ * den_;
+}
+
+std::string Rational::ToString() const {
+  if (den_ == BigInt(1)) return num_.ToString();
+  return StrCat(num_.ToString(), "/", den_.ToString());
+}
+
+size_t Rational::Hash() const {
+  size_t seed = num_.Hash();
+  HashMix(&seed, den_.Hash());
+  return seed;
+}
+
+}  // namespace has

@@ -1,0 +1,52 @@
+// Hash combination helpers (boost-style) for composite keys used by the
+// interning pools of the symbolic core.
+#ifndef HAS_COMMON_HASHING_H_
+#define HAS_COMMON_HASHING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace has {
+
+inline void HashCombine(size_t* seed, size_t value) {
+  *seed ^= value + 0x9e3779b97f4a7c15ULL + (*seed << 6) + (*seed >> 2);
+}
+
+template <typename T>
+void HashMix(size_t* seed, const T& value) {
+  HashCombine(seed, std::hash<T>{}(value));
+}
+
+template <typename T>
+size_t HashRange(const std::vector<T>& values, size_t seed = 0) {
+  for (const T& v : values) HashMix(&seed, v);
+  return seed;
+}
+
+/// Hash of a vector of hashable elements.
+template <typename T>
+struct VectorHash {
+  size_t operator()(const std::vector<T>& v) const {
+    size_t seed = v.size();
+    for (const T& x : v) HashMix(&seed, x);
+    return seed;
+  }
+};
+
+/// Hash of a pair.
+template <typename A, typename B>
+struct PairHash {
+  size_t operator()(const std::pair<A, B>& p) const {
+    size_t seed = 0;
+    HashMix(&seed, p.first);
+    HashMix(&seed, p.second);
+    return seed;
+  }
+};
+
+}  // namespace has
+
+#endif  // HAS_COMMON_HASHING_H_

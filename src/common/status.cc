@@ -1,0 +1,46 @@
+#include "common/status.h"
+
+namespace has {
+
+namespace {
+const char* CodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+  }
+  return "Unknown";
+}
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+namespace internal {
+void DieBecauseCheckFailed(const char* file, int line,
+                           const std::string& what) {
+  std::cerr << "CHECK failed at " << file << ":" << line << ": " << what
+            << std::endl;
+  std::abort();
+}
+}  // namespace internal
+
+}  // namespace has

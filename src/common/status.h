@@ -1,0 +1,136 @@
+// Status / StatusOr: lightweight error propagation without exceptions,
+// following the RocksDB/Arrow idiom. Library code returns Status (or
+// StatusOr<T>) instead of throwing; CHECK-style macros guard invariants
+// that indicate programming errors rather than bad input.
+#ifndef HAS_COMMON_STATUS_H_
+#define HAS_COMMON_STATUS_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace has {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kResourceExhausted,
+};
+
+/// Result of an operation that can fail. Cheap to copy when OK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {}  // NOLINT
+  StatusOr(T value) : value_(std::move(value)) {}          // NOLINT
+
+  bool ok() const { return status_.ok() && value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+[[noreturn]] void DieBecauseCheckFailed(const char* file, int line,
+                                        const std::string& what);
+}  // namespace internal
+
+}  // namespace has
+
+// Invariant checks: these indicate bugs, not recoverable conditions, so
+// they abort (per Google style, used for internal consistency only).
+#define HAS_CHECK(cond)                                                    \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::has::internal::DieBecauseCheckFailed(__FILE__, __LINE__, #cond);   \
+    }                                                                      \
+  } while (0)
+
+#define HAS_CHECK_MSG(cond, msg)                                           \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::ostringstream oss_;                                             \
+      oss_ << #cond << ": " << msg;                                        \
+      ::has::internal::DieBecauseCheckFailed(__FILE__, __LINE__,           \
+                                             oss_.str());                  \
+    }                                                                      \
+  } while (0)
+
+// Propagate a non-OK Status to the caller.
+#define HAS_RETURN_IF_ERROR(expr)             \
+  do {                                        \
+    ::has::Status status_ = (expr);           \
+    if (!status_.ok()) return status_;        \
+  } while (0)
+
+// Assign the value of a StatusOr expression or propagate its error.
+#define HAS_ASSIGN_OR_RETURN(lhs, expr)          \
+  auto HAS_CONCAT_(sor_, __LINE__) = (expr);     \
+  if (!HAS_CONCAT_(sor_, __LINE__).ok())         \
+    return HAS_CONCAT_(sor_, __LINE__).status(); \
+  lhs = std::move(HAS_CONCAT_(sor_, __LINE__)).value()
+
+#define HAS_CONCAT_INNER_(a, b) a##b
+#define HAS_CONCAT_(a, b) HAS_CONCAT_INNER_(a, b)
+
+#endif  // HAS_COMMON_STATUS_H_

@@ -1,0 +1,36 @@
+// Small string helpers used across the library (join, split, printf-free
+// concatenation). Kept deliberately minimal; no locale dependence.
+#ifndef HAS_COMMON_STRINGS_H_
+#define HAS_COMMON_STRINGS_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace has {
+
+/// Concatenates the stream representations of all arguments.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream oss;
+  (oss << ... << args);
+  return oss.str();
+}
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// Splits `text` on the single character `sep`; keeps empty pieces.
+std::vector<std::string> StrSplit(std::string_view text, char sep);
+
+/// True iff `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+}  // namespace has
+
+#endif  // HAS_COMMON_STRINGS_H_

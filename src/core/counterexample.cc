@@ -1,0 +1,78 @@
+#include "core/counterexample.h"
+
+#include "common/strings.h"
+
+namespace has {
+
+namespace {
+
+constexpr int kMaxExpansionDepth = 4;
+
+void RenderPath(const RtEngine& engine, const RtEngine::Entry& entry,
+                const std::vector<int64_t>& labels,
+                const ArtifactSystem& system, int indent, std::string* out);
+
+/// Expands a child call: renders the child's witnessing local run.
+void RenderChildCall(const RtEngine& engine, const TransitionRecord& rec,
+                     const ArtifactSystem& system, int indent,
+                     std::string* out) {
+  const RtEngine::Entry* child = engine.FindEntry(rec.child_entry_key);
+  if (child == nullptr || indent > kMaxExpansionDepth) return;
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  if (rec.child_result_index >= 0 &&
+      rec.child_result_index <
+          static_cast<int>(child->returning_nodes.size())) {
+    int node = child->returning_nodes[rec.child_result_index];
+    *out += StrCat(pad, "  └─ child run (returns):\n");
+    RenderPath(engine, *child, child->graph->PathLabels(node), system,
+               indent + 2, out);
+  } else if (child->lasso.has_value()) {
+    *out += StrCat(pad, "  └─ child run (never returns; loops):\n");
+    RenderPath(engine, *child, child->lasso->stem_labels, system, indent + 2,
+               out);
+    *out += StrCat(pad, "     child loop:\n");
+    RenderPath(engine, *child, child->lasso->loop_labels, system, indent + 2,
+               out);
+  } else if (child->blocking_node >= 0) {
+    *out += StrCat(pad, "  └─ child run (blocks):\n");
+    RenderPath(engine, *child, child->graph->PathLabels(child->blocking_node),
+               system, indent + 2, out);
+  }
+}
+
+void RenderPath(const RtEngine& engine, const RtEngine::Entry& entry,
+                const std::vector<int64_t>& labels,
+                const ArtifactSystem& system, int indent, std::string* out) {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  for (int64_t label : labels) {
+    const TransitionRecord& rec = entry.vass->record(label);
+    *out += StrCat(pad, system.ServiceName(rec.service));
+    if (!rec.note.empty()) *out += StrCat("  [", rec.note, "]");
+    *out += "\n";
+    if (!rec.child_entry_key.empty()) {
+      RenderChildCall(engine, rec, system, indent, out);
+    }
+  }
+}
+
+}  // namespace
+
+std::string FormatCounterexample(const RtEngine& engine,
+                                 const RtEngine::RootWitness& witness,
+                                 const ArtifactSystem& system) {
+  const RtEngine::Entry* entry = engine.FindEntry(witness.entry_key);
+  if (entry == nullptr) return "(no witness entry)";
+  std::string out;
+  out += witness.blocking
+             ? "blocking counterexample run (a child never returns):\n"
+             : "lasso counterexample run:\n";
+  out += "--- stem ---\n";
+  RenderPath(engine, *entry, witness.stem_labels, system, 1, &out);
+  if (!witness.blocking) {
+    out += "--- loop (repeats forever) ---\n";
+    RenderPath(engine, *entry, witness.loop_labels, system, 1, &out);
+  }
+  return out;
+}
+
+}  // namespace has

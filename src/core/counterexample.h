@@ -1,0 +1,20 @@
+// Rendering of symbolic counterexamples: the witnessing path through
+// the root task's product (stem + loop for lassos, stem for blocking
+// runs), with child calls annotated by their guessed outcomes and
+// expanded one level through the memoized child explorations.
+#ifndef HAS_CORE_COUNTEREXAMPLE_H_
+#define HAS_CORE_COUNTEREXAMPLE_H_
+
+#include <string>
+
+#include "core/rt_relation.h"
+
+namespace has {
+
+std::string FormatCounterexample(const RtEngine& engine,
+                                 const RtEngine::RootWitness& witness,
+                                 const ArtifactSystem& system);
+
+}  // namespace has
+
+#endif  // HAS_CORE_COUNTEREXAMPLE_H_

@@ -1,0 +1,25 @@
+#include "core/nav.h"
+
+#include <functional>
+
+#include "schema/fk_graph.h"
+
+namespace has {
+
+std::vector<uint64_t> PaperNavigationDepths(const ArtifactSystem& system) {
+  FkGraph fk(system.schema());
+  std::vector<uint64_t> depths(system.num_tasks(), 0);
+  std::function<uint64_t(TaskId)> h = [&](TaskId t) -> uint64_t {
+    if (depths[t] != 0) return depths[t];
+    std::vector<uint64_t> child_depths;
+    for (TaskId c : system.task(t).children()) child_depths.push_back(h(c));
+    depths[t] = NavigationDepthBound(
+        fk, static_cast<uint64_t>(system.task(t).vars().size()),
+        child_depths);
+    return depths[t];
+  };
+  for (TaskId t = 0; t < system.num_tasks(); ++t) h(t);
+  return depths;
+}
+
+}  // namespace has

@@ -1,0 +1,19 @@
+// Navigation-depth analysis: the paper's h(T) bound (Section 4.1) per
+// task, unclamped, used by bench_navigation to reproduce the growth of
+// navigation sets per schema class (Appendix C.3).
+#ifndef HAS_CORE_NAV_H_
+#define HAS_CORE_NAV_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "model/artifact_system.h"
+
+namespace has {
+
+/// h(T) for every task (indexed by TaskId), saturating at kSaturated.
+std::vector<uint64_t> PaperNavigationDepths(const ArtifactSystem& system);
+
+}  // namespace has
+
+#endif  // HAS_CORE_NAV_H_

@@ -1,0 +1,142 @@
+#include "core/rt_relation.h"
+
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace has {
+
+RtEngine::RtEngine(const ArtifactSystem* system, const HltlProperty* property,
+                   const VerifierOptions& options, const Hcd* hcd)
+    : system_(system), property_(property), options_(options), hcd_(hcd) {
+  automata_ = std::make_unique<PropertyAutomata>(system, property);
+  for (TaskId t = 0; t < system->num_tasks(); ++t) {
+    contexts_[t] =
+        std::make_unique<TaskContext>(system, property, t, options_, hcd);
+    context_ptrs_[t] = contexts_[t].get();
+  }
+}
+
+RtEngine::~RtEngine() = default;
+
+std::string RtEngine::EntryKey(TaskId task, const PartialIsoType& input_iso,
+                               const Cell& input_cell,
+                               Assignment beta) const {
+  PartialIsoType normalized = input_iso;
+  normalized.Normalize();
+  return StrCat("T", task, "|b", beta, "|", normalized.Signature(), "|c",
+                input_cell.Hash());
+}
+
+const RtEngine::Entry* RtEngine::FindEntry(const std::string& key) const {
+  auto it = memo_.find(key);
+  return it == memo_.end() ? nullptr : it->second.get();
+}
+
+const ChildResult& RtEngine::Query(TaskId task,
+                                   const PartialIsoType& input_iso,
+                                   const Cell& input_cell, Assignment beta) {
+  std::string key = EntryKey(task, input_iso, input_cell, beta);
+  auto it = memo_.find(key);
+  if (it != memo_.end()) return it->second->result;
+
+  ++stats_.queries;
+  auto entry = std::make_unique<Entry>();
+  entry->task = task;
+  const Condition* filter =
+      task == system_->root() ? system_->global_pre().get() : nullptr;
+  entry->vass = std::make_unique<TaskVass>(
+      context_ptrs_.at(task), &context_ptrs_, automata_.get(), beta,
+      input_iso, input_cell, this, filter);
+  KarpMillerOptions km_options;
+  km_options.max_nodes = options_.max_cov_nodes;
+  entry->graph = std::make_unique<KarpMiller>(entry->vass.get(), km_options);
+  // NOTE: the memo entry must be registered BEFORE Build so that
+  // re-entrant queries of the same key cannot occur (the hierarchy is a
+  // tree, so recursion only descends to children — this is belt and
+  // braces for stats accounting).
+  Entry* raw = entry.get();
+  memo_.emplace(key, std::move(entry));
+  raw->graph->Build(raw->vass->InitialStates());
+
+  stats_.cov_nodes += raw->graph->num_nodes();
+  stats_.cov_edges += raw->graph->TotalEdges();
+  stats_.product_states += raw->vass->num_states();
+  stats_.counter_dims =
+      std::max(stats_.counter_dims,
+               static_cast<size_t>(raw->vass->num_dimensions()));
+  stats_.truncated =
+      stats_.truncated || raw->graph->truncated() || raw->vass->truncated();
+
+  // Returning outputs: deduplicate by outcome signature.
+  std::map<std::string, size_t> seen_outputs;
+  for (int n = 0; n < raw->graph->num_nodes(); ++n) {
+    int state = raw->graph->node_state(n);
+    if (!raw->vass->IsReturning(state)) continue;
+    ChildOutcome out = raw->vass->OutputOf(state);
+    out.iso.Normalize();
+    std::string out_key = StrCat(out.iso.Signature(), "|", out.cell.Hash());
+    if (seen_outputs.count(out_key) > 0) continue;
+    seen_outputs[out_key] = raw->result.returning.size();
+    raw->result.returning.push_back(std::move(out));
+    raw->returning_nodes.push_back(n);
+  }
+  // Blocking runs.
+  for (int n = 0; n < raw->graph->num_nodes(); ++n) {
+    if (raw->vass->IsBlocking(raw->graph->node_state(n))) {
+      raw->blocking_node = n;
+      raw->result.has_bottom = true;
+      break;
+    }
+  }
+  // Lasso runs (only needed if no blocking witness was found, but the
+  // lasso witness is nicer for counterexamples, so compute it anyway
+  // unless the graph is large).
+  if (!raw->result.has_bottom || raw->graph->num_nodes() < 20000) {
+    RepeatedReachabilityOptions rr;
+    rr.effect_bound = options_.lasso_effect_bound;
+    rr.max_steps = options_.lasso_max_steps;
+    raw->lasso = FindAcceptingLasso(
+        *raw->graph,
+        [&](int state) { return raw->vass->IsBuchiAccepting(state); }, rr);
+    if (raw->lasso.has_value()) raw->result.has_bottom = true;
+  }
+  return raw->result;
+}
+
+RtEngine::RootWitness RtEngine::CheckRoot() {
+  RootWitness witness;
+  TaskId root = system_->root();
+  TaskAutomata& root_automata = automata_->ForTask(root);
+  int root_bit = root_automata.AssignmentBit(property_->root_node());
+  HAS_CHECK_MSG(root_bit >= 0, "root node not in the root task's Φ");
+
+  const Task& root_task = system_->task(root);
+  PartialIsoType empty_input(&system_->schema(), &root_task.vars(),
+                             contexts_.at(root)->nav_depth());
+  Cell empty_cell;
+
+  for (Assignment beta = 0;
+       beta < static_cast<Assignment>(root_automata.num_assignments());
+       ++beta) {
+    if (((beta >> root_bit) & 1) == 0) continue;
+    const ChildResult& result = Query(root, empty_input, empty_cell, beta);
+    if (!result.has_bottom) continue;
+    witness.satisfiable = true;
+    witness.entry_key = EntryKey(root, empty_input, empty_cell, beta);
+    const Entry* entry = FindEntry(witness.entry_key);
+    if (entry->lasso.has_value()) {
+      witness.stem_labels = entry->lasso->stem_labels;
+      witness.loop_labels = entry->lasso->loop_labels;
+      witness.final_node = entry->lasso->node;
+      witness.blocking = false;
+    } else {
+      witness.stem_labels = entry->graph->PathLabels(entry->blocking_node);
+      witness.final_node = entry->blocking_node;
+      witness.blocking = true;
+    }
+    return witness;
+  }
+  return witness;
+}
+
+}  // namespace has

@@ -1,0 +1,98 @@
+// Demand-driven computation of the relations R_T (Section 4.2,
+// Lemma 21): for a task T, input type τ_in (plus input cell) and truth
+// assignment β to Φ_T, the set of possible outputs — returning output
+// types, and whether a non-returning run (lasso through a Büchi-
+// accepting state, or a blocking run with a ⊥ child) exists. Queries
+// recurse down the hierarchy through the RtOracle interface and are
+// memoized per (task, τ_in, cell, β).
+#ifndef HAS_CORE_RT_RELATION_H_
+#define HAS_CORE_RT_RELATION_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/task_vass.h"
+#include "vass/karp_miller.h"
+#include "vass/repeated.h"
+
+namespace has {
+
+/// Cumulative statistics across all RT queries.
+struct RtStats {
+  size_t queries = 0;
+  size_t cov_nodes = 0;
+  size_t cov_edges = 0;
+  size_t product_states = 0;
+  size_t counter_dims = 0;
+  bool truncated = false;
+};
+
+class RtEngine : public RtOracle {
+ public:
+  /// `property` must already be the negated property ([¬ξ]_T1).
+  /// `hcd` is null in no-arithmetic mode.
+  RtEngine(const ArtifactSystem* system, const HltlProperty* property,
+           const VerifierOptions& options, const Hcd* hcd);
+  ~RtEngine() override;
+
+  const ChildResult& Query(TaskId task, const PartialIsoType& input_iso,
+                           const Cell& input_cell,
+                           Assignment beta) override;
+  std::string KeyOf(TaskId task, const PartialIsoType& input_iso,
+                    const Cell& input_cell,
+                    Assignment beta) const override {
+    return EntryKey(task, input_iso, input_cell, beta);
+  }
+
+  struct RootWitness {
+    bool satisfiable = false;
+    /// The memo entry holding the witnessing root exploration.
+    std::string entry_key;
+    /// Lasso witness (empty loop = blocking witness).
+    std::vector<int64_t> stem_labels;
+    std::vector<int64_t> loop_labels;
+    int final_node = -1;
+    bool blocking = false;
+  };
+
+  /// Satisfiability of the (negated) property: does some symbolic tree
+  /// of runs of the system satisfy it? (Lemma 21 at the root.)
+  RootWitness CheckRoot();
+
+  const RtStats& stats() const { return stats_; }
+  const TaskContext& context(TaskId t) const { return *contexts_.at(t); }
+
+  /// Access to a memo entry's exploration artifacts (counterexample
+  /// rendering).
+  struct Entry {
+    ChildResult result;
+    std::unique_ptr<TaskVass> vass;
+    std::unique_ptr<KarpMiller> graph;
+    /// Per returning outcome: a coverability node realizing it.
+    std::vector<int> returning_nodes;
+    /// Blocking witness node (-1 if none) and lasso witness.
+    int blocking_node = -1;
+    std::optional<LassoWitness> lasso;
+    TaskId task = kNoTask;
+  };
+  const Entry* FindEntry(const std::string& key) const;
+  std::string EntryKey(TaskId task, const PartialIsoType& input_iso,
+                       const Cell& input_cell, Assignment beta) const;
+
+ private:
+  const ArtifactSystem* system_;
+  const HltlProperty* property_;
+  VerifierOptions options_;
+  const Hcd* hcd_;
+  std::unique_ptr<PropertyAutomata> automata_;
+  std::map<TaskId, std::unique_ptr<TaskContext>> contexts_;
+  std::map<TaskId, const TaskContext*> context_ptrs_;
+  std::map<std::string, std::unique_ptr<Entry>> memo_;
+  RtStats stats_;
+};
+
+}  // namespace has
+
+#endif  // HAS_CORE_RT_RELATION_H_

@@ -1,0 +1,519 @@
+#include "core/successor.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/status.h"
+#include "schema/fk_graph.h"
+
+namespace has {
+
+namespace {
+
+/// Paper navigation depth h(T), clamped to the configured cap.
+int ComputeNavDepth(const ArtifactSystem& system, TaskId task,
+                    const VerifierOptions& options) {
+  if (!options.use_paper_depth) return options.max_nav_depth;
+  FkGraph fk(system.schema());
+  std::function<uint64_t(TaskId)> h = [&](TaskId t) -> uint64_t {
+    std::vector<uint64_t> child_depths;
+    for (TaskId c : system.task(t).children()) child_depths.push_back(h(c));
+    return NavigationDepthBound(
+        fk, static_cast<uint64_t>(system.task(t).vars().size()),
+        child_depths);
+  };
+  uint64_t depth = h(task);
+  if (depth > static_cast<uint64_t>(options.max_nav_depth)) {
+    return options.max_nav_depth;
+  }
+  return static_cast<int>(depth);
+}
+
+/// Whether an atom belongs to the equality component (everything except
+/// genuine arithmetic).
+bool IsEqualityAtom(const Condition& atom) {
+  return !(atom.kind() == CondKind::kArith && atom.UsesArithmetic());
+}
+
+}  // namespace
+
+TaskContext::TaskContext(const ArtifactSystem* system,
+                         const HltlProperty* property, TaskId task,
+                         const VerifierOptions& options, const Hcd* hcd)
+    : system_(system),
+      property_(property),
+      task_(task),
+      options_(&options),
+      basis_(hcd != nullptr ? &hcd->basis(task) : nullptr) {
+  nav_depth_ = ComputeNavDepth(*system, task, options);
+  const Task& t = system->task(task);
+  for (int v : t.InputVars()) input_vars_.insert(v);
+  for (int v : t.set_vars()) set_vars_.insert(v);
+  CollectAtoms();
+  if (basis_ != nullptr) {
+    // Preserved polynomials: all of whose variables are numeric inputs.
+    std::vector<ArithVar> numeric_inputs;
+    for (int v : input_vars_) {
+      if (t.vars().var(v).sort == VarSort::kNumeric) {
+        numeric_inputs.push_back(v);
+      }
+    }
+    preserved_polys_ = basis_->PolysOverVars(numeric_inputs);
+  }
+}
+
+void TaskContext::CollectAtoms() {
+  const Task& t = system_->task(task_);
+  std::vector<const Condition*> raw;
+  auto harvest = [&raw](const CondPtr& c) {
+    if (c != nullptr) c->CollectAtoms(&raw);
+  };
+  for (const InternalService& s : t.services()) {
+    harvest(s.pre);
+    harvest(s.post);
+  }
+  harvest(t.closing_pre());
+  for (TaskId c : t.children()) {
+    harvest(system_->task(c).opening_pre());
+  }
+  if (property_ != nullptr) {
+    for (int node : property_->NodesOfTask(task_)) {
+      for (const HltlProp& p : property_->node(node).props) {
+        if (p.kind == HltlProp::Kind::kCondition) harvest(p.condition);
+      }
+    }
+  }
+  if (task_ == system_->root()) {
+    harvest(system_->global_pre());
+  }
+
+  std::vector<CondPtr> null_checks;
+  auto add_null_check = [&](int var) {
+    if (t.vars().var(var).sort == VarSort::kId) {
+      null_checks.push_back(Condition::IsNull(var));
+    }
+  };
+  for (const auto& [own, parent] : t.fin()) {
+    (void)parent;
+    add_null_check(own);
+  }
+  for (const auto& [parent, own] : t.fout()) {
+    (void)parent;
+    add_null_check(own);
+  }
+  for (int v : t.set_vars()) add_null_check(v);
+  for (TaskId c : t.children()) {
+    const Task& child = system_->task(c);
+    for (const auto& [child_var, parent_var] : child.fin()) {
+      (void)child_var;
+      add_null_check(parent_var);
+    }
+    for (const auto& [parent_var, child_var] : child.fout()) {
+      (void)child_var;
+      add_null_check(parent_var);
+    }
+  }
+  for (const CondPtr& c : null_checks) raw.push_back(c.get());
+
+  // Deduplicate and keep equality-component atoms. Raw pointers from
+  // CollectAtoms stay alive through the owning conditions; we rebuild
+  // shared ownership for the null checks by retaining them.
+  for (const Condition* atom : raw) {
+    if (!IsEqualityAtom(*atom)) continue;
+    bool seen = false;
+    for (const CondPtr& kept : eq_atoms_) {
+      if (kept->Equals(*atom)) {
+        seen = true;
+        break;
+      }
+    }
+    if (seen) continue;
+    // Clone the atom into owned form (atoms are leaves, cheap to
+    // rebuild via MapVars identity).
+    std::vector<int> identity(t.vars().size());
+    for (size_t i = 0; i < identity.size(); ++i) {
+      identity[i] = static_cast<int>(i);
+    }
+    eq_atoms_.push_back(atom->MapVars(identity));
+  }
+}
+
+LinearSystem TaskContext::NumericEqualities(const PartialIsoType& iso) const {
+  LinearSystem out;
+  const VarScope& scope = system_->task(task_).vars();
+  // Pairwise equalities of numeric variables within a class.
+  std::vector<int> numeric_elems;
+  for (int e = 0; e < iso.num_elements(); ++e) {
+    const IsoElement& el = iso.element(e);
+    if (el.kind == IsoElement::Kind::kVar &&
+        scope.var(el.var).sort == VarSort::kNumeric) {
+      numeric_elems.push_back(e);
+    }
+  }
+  for (size_t i = 0; i < numeric_elems.size(); ++i) {
+    std::optional<Rational> tag = iso.ConstOf(numeric_elems[i]);
+    if (tag.has_value()) {
+      LinearExpr expr = LinearExpr::Var(iso.element(numeric_elems[i]).var);
+      expr.AddConstant(Rational(0) - *tag);
+      out.Add(std::move(expr), Relop::kEq);
+    }
+    for (size_t j = i + 1; j < numeric_elems.size(); ++j) {
+      if (iso.Same(numeric_elems[i], numeric_elems[j])) {
+        LinearExpr expr = LinearExpr::Var(iso.element(numeric_elems[i]).var);
+        expr.AddTerm(iso.element(numeric_elems[j]).var, Rational(-1));
+        out.Add(std::move(expr), Relop::kEq);
+      }
+    }
+  }
+  return out;
+}
+
+Truth TaskContext::EvalSym(const Condition& cond,
+                           const SymbolicConfig& s) const {
+  switch (cond.kind()) {
+    case CondKind::kTrue:
+      return Truth::kTrue;
+    case CondKind::kFalse:
+      return Truth::kFalse;
+    case CondKind::kEq:
+    case CondKind::kRel:
+      return s.iso.EvalAtom(cond);
+    case CondKind::kArith: {
+      if (!cond.UsesArithmetic()) return s.iso.EvalAtom(cond);
+      if (basis_ == nullptr) return Truth::kUnknown;
+      bool negated = false;
+      int poly = basis_->Find(cond.constraint().expr, &negated);
+      if (poly == -1 || s.cell.size() <= poly) return Truth::kUnknown;
+      Sign sign = s.cell.sign(poly);
+      if (sign == kSignAny) return Truth::kUnknown;
+      int value = negated ? -sign : sign;
+      switch (cond.constraint().op) {
+        case Relop::kLt:
+          return value < 0 ? Truth::kTrue : Truth::kFalse;
+        case Relop::kLe:
+          return value <= 0 ? Truth::kTrue : Truth::kFalse;
+        case Relop::kEq:
+          return value == 0 ? Truth::kTrue : Truth::kFalse;
+      }
+      return Truth::kUnknown;
+    }
+    case CondKind::kNot:
+      return TruthNot(EvalSym(*cond.child(0), s));
+    case CondKind::kAnd:
+      return TruthAnd(EvalSym(*cond.child(0), s),
+                      EvalSym(*cond.child(1), s));
+    case CondKind::kOr:
+      return TruthOr(EvalSym(*cond.child(0), s), EvalSym(*cond.child(1), s));
+  }
+  return Truth::kUnknown;
+}
+
+std::string TaskContext::TsSignature(const PartialIsoType& iso) const {
+  std::set<int> keep = input_vars_;
+  keep.insert(set_vars_.begin(), set_vars_.end());
+  PartialIsoType proj = iso.Project(keep, nav_depth_);
+  proj.Normalize();
+  return proj.Signature();
+}
+
+bool TaskContext::TsInputBound(const PartialIsoType& iso) const {
+  std::set<int> keep = input_vars_;
+  keep.insert(set_vars_.begin(), set_vars_.end());
+  PartialIsoType proj = iso.Project(keep, nav_depth_);
+  for (int v : set_vars_) {
+    // Locate the variable element in the projection.
+    int elem = -1;
+    for (int e = 0; e < proj.num_elements(); ++e) {
+      const IsoElement& el = proj.element(e);
+      if (el.kind == IsoElement::Kind::kVar && el.var == v) {
+        elem = e;
+        break;
+      }
+    }
+    if (elem == -1) return false;  // unconstrained: not bound
+    if (proj.IsNullTagged(elem)) continue;
+    if (!proj.ClassTouchesVars(elem, input_vars_)) return false;
+  }
+  return true;
+}
+
+PartialIsoType TaskContext::OpeningIso(const PartialIsoType& input) const {
+  PartialIsoType iso = input;
+  const VarScope& scope = system_->task(task_).vars();
+  for (int v = 0; v < scope.size(); ++v) {
+    if (input_vars_.count(v) > 0) continue;
+    int elem = iso.VarElement(v);
+    bool ok = scope.var(v).sort == VarSort::kId
+                  ? iso.AssertEq(elem, iso.NullElement())
+                  : iso.AssertEq(elem, iso.ConstElement(Rational(0)));
+    HAS_CHECK_MSG(ok, "opening initialization contradiction");
+  }
+  return iso;
+}
+
+namespace {
+
+/// Shared decision DFS: refines `seed` until every equality atom of the
+/// context is decided, then (in arithmetic mode) completes the cell
+/// over the given todo polynomials, requiring `must_hold` (if any) to
+/// be definitely true at the leaves.
+void CompleteDecisions(const TaskContext& ctx, const SymbolicConfig& seed,
+                       const CondPtr& must_hold, size_t max_branches,
+                       bool* truncated,
+                       const std::function<void(SymbolicConfig&&)>& emit) {
+  size_t branches = 0;
+  std::function<void(SymbolicConfig&)> rec = [&](SymbolicConfig& cur) {
+    if (++branches > max_branches) {
+      *truncated = true;
+      return;
+    }
+    if (must_hold != nullptr &&
+        ctx.EvalSym(*must_hold, cur) == Truth::kFalse) {
+      return;
+    }
+    // Next undecided equality atom.
+    for (const CondPtr& atom : ctx.eq_atoms()) {
+      Truth t = cur.iso.EvalAtom(*atom);
+      if (t != Truth::kUnknown) continue;
+      for (bool value : {true, false}) {
+        SymbolicConfig branch = cur;
+        if (!branch.iso.DecideAtom(*atom, value)) continue;
+        rec(branch);
+      }
+      return;
+    }
+    // All equality atoms decided. Complete the cell (if arithmetic).
+    if (ctx.basis() == nullptr) {
+      if (must_hold != nullptr &&
+          ctx.EvalSym(*must_hold, cur) != Truth::kTrue) {
+        return;
+      }
+      SymbolicConfig out = cur;
+      out.iso.Normalize();
+      emit(std::move(out));
+      return;
+    }
+    std::vector<int> todo;
+    if (cur.cell.size() != ctx.basis()->size()) {
+      Cell fresh(ctx.basis()->size());
+      for (int p = 0; p < cur.cell.size() && p < fresh.size(); ++p) {
+        fresh.set_sign(p, cur.cell.sign(p));
+      }
+      cur.cell = fresh;
+    }
+    for (int p = 0; p < ctx.basis()->size(); ++p) {
+      if (cur.cell.sign(p) == kSignAny) todo.push_back(p);
+    }
+    LinearSystem extra = ctx.NumericEqualities(cur.iso);
+    EnumerateCells(*ctx.basis(), cur.cell, todo, extra,
+                   [&](const Cell& cell) {
+                     if (++branches > max_branches) {
+                       *truncated = true;
+                       return false;
+                     }
+                     SymbolicConfig out = cur;
+                     out.cell = cell;
+                     if (must_hold != nullptr &&
+                         ctx.EvalSym(*must_hold, out) != Truth::kTrue) {
+                       return true;
+                     }
+                     out.iso.Normalize();
+                     emit(std::move(out));
+                     return true;
+                   });
+  };
+  SymbolicConfig start = seed;
+  rec(start);
+}
+
+}  // namespace
+
+std::vector<InternalSuccessor> EnumerateInternal(const TaskContext& ctx,
+                                                 const SymbolicConfig& cur,
+                                                 const InternalService& svc,
+                                                 bool* truncated) {
+  std::vector<InternalSuccessor> out;
+  // Base: input projection preserved exactly, everything else fresh.
+  SymbolicConfig base{
+      cur.iso.Project(ctx.input_vars(), ctx.nav_depth()),
+      Cell(ctx.basis() != nullptr ? ctx.basis()->size() : 0)};
+  if (ctx.basis() != nullptr) {
+    for (int p : ctx.preserved_polys()) {
+      base.cell.set_sign(p, cur.cell.sign(p));
+    }
+  }
+  std::string insert_sig;
+  bool insert_ib = false;
+  if (svc.inserts) {
+    insert_sig = ctx.TsSignature(cur.iso);
+    insert_ib = ctx.TsInputBound(cur.iso);
+  }
+  CompleteDecisions(
+      ctx, base, svc.post, ctx.max_branches(), truncated,
+      [&](SymbolicConfig&& next) {
+        InternalSuccessor s;
+        s.inserts = svc.inserts;
+        s.insert_sig = insert_sig;
+        s.insert_input_bound = insert_ib;
+        if (svc.retrieves) {
+          s.retrieves = true;
+          s.retrieve_sig = ctx.TsSignature(next.iso);
+          s.retrieve_input_bound = ctx.TsInputBound(next.iso);
+        }
+        s.next = std::move(next);
+        out.push_back(std::move(s));
+      });
+  return out;
+}
+
+std::vector<SymbolicConfig> EnumerateOpening(const TaskContext& ctx,
+                                             const PartialIsoType& input_iso,
+                                             const Cell& input_cell,
+                                             bool* truncated) {
+  std::vector<SymbolicConfig> out;
+  SymbolicConfig base{ctx.OpeningIso(input_iso),
+                      Cell(ctx.basis() != nullptr ? ctx.basis()->size() : 0)};
+  if (ctx.basis() != nullptr) {
+    for (int p = 0; p < input_cell.size() && p < base.cell.size(); ++p) {
+      base.cell.set_sign(p, input_cell.sign(p));
+    }
+  }
+  CompleteDecisions(ctx, base, nullptr, ctx.max_branches(), truncated,
+                    [&](SymbolicConfig&& next) {
+                      out.push_back(std::move(next));
+                    });
+  return out;
+}
+
+PartialIsoType ChildInputIso(const TaskContext& parent_ctx,
+                             const TaskContext& child_ctx,
+                             const SymbolicConfig& parent_state) {
+  (void)parent_ctx;  // symmetry with ChildInputCell
+  const Task& child = child_ctx.task();
+  std::set<int> passed;
+  std::map<int, int> parent_to_child;
+  for (const auto& [child_var, parent_var] : child.fin()) {
+    passed.insert(parent_var);
+    parent_to_child[parent_var] = child_var;
+  }
+  PartialIsoType proj =
+      parent_state.iso.Project(passed, child_ctx.nav_depth());
+  return proj.Rename(parent_to_child, &child.vars());
+}
+
+Cell ChildInputCell(const TaskContext& parent_ctx,
+                    const TaskContext& child_ctx,
+                    const SymbolicConfig& parent_state) {
+  if (child_ctx.basis() == nullptr || parent_ctx.basis() == nullptr) {
+    return Cell();
+  }
+  const Task& child = child_ctx.task();
+  std::map<ArithVar, ArithVar> child_to_parent;
+  std::vector<ArithVar> child_inputs;
+  for (const auto& [child_var, parent_var] : child.fin()) {
+    if (child.vars().var(child_var).sort == VarSort::kNumeric) {
+      child_to_parent[child_var] = parent_var;
+      child_inputs.push_back(child_var);
+    }
+  }
+  Cell out(child_ctx.basis()->size());
+  for (int p : child_ctx.basis()->PolysOverVars(child_inputs)) {
+    LinearExpr renamed = child_ctx.basis()->poly(p).Rename(child_to_parent);
+    bool negated = false;
+    int parent_poly = parent_ctx.basis()->Find(renamed, &negated);
+    if (parent_poly == -1 || parent_state.cell.size() <= parent_poly) {
+      continue;
+    }
+    Sign sign = parent_state.cell.sign(parent_poly);
+    if (sign == kSignAny) continue;
+    out.set_sign(p, negated ? static_cast<Sign>(-sign) : sign);
+  }
+  return out;
+}
+
+std::vector<SymbolicConfig> ApplyChildReturn(
+    const TaskContext& parent_ctx, const TaskContext& child_ctx,
+    const SymbolicConfig& parent_state, const PartialIsoType& child_out_iso,
+    const Cell& child_out_cell, bool* truncated) {
+  const Task& child = child_ctx.task();
+  const Task& parent = parent_ctx.task();
+
+  // Child→parent variable map for inputs and (accepted) returns.
+  std::map<int, int> child_to_parent;
+  for (const auto& [child_var, parent_var] : child.fin()) {
+    child_to_parent[child_var] = parent_var;
+  }
+  std::vector<int> overwritten;  // parent vars receiving child values
+  for (const auto& [parent_var, child_var] : child.fout()) {
+    bool is_id = parent.vars().var(parent_var).sort == VarSort::kId;
+    // Only null parent ID variables accept returned IDs (Definition 8);
+    // numeric targets are always overwritten.
+    if (is_id && !parent_state.iso.VarIsNull(parent_var)) continue;
+    // If the same parent variable also fed a child input, that input
+    // mapping now refers to a dead (overwritten) value: drop it so two
+    // child variables are never forced onto one parent variable.
+    for (auto it = child_to_parent.begin(); it != child_to_parent.end();) {
+      if (it->second == parent_var) {
+        it = child_to_parent.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    child_to_parent[child_var] = parent_var;
+    overwritten.push_back(parent_var);
+  }
+
+  SymbolicConfig base = parent_state;
+  for (int v : overwritten) base.iso.ForgetVar(v);
+  PartialIsoType renamed =
+      child_out_iso.Rename(child_to_parent, &parent.vars());
+  if (!base.iso.MergeFrom(renamed)) return {};
+
+  if (parent_ctx.basis() != nullptr) {
+    // Reset signs of polynomials touching overwritten numerics, then
+    // force the child's output constraints through the renaming.
+    std::set<int> touched(overwritten.begin(), overwritten.end());
+    for (int p = 0; p < parent_ctx.basis()->size(); ++p) {
+      for (ArithVar v : parent_ctx.basis()->poly(p).Vars()) {
+        if (touched.count(v) > 0) {
+          base.cell.set_sign(p, kSignAny);
+          break;
+        }
+      }
+    }
+    if (child_ctx.basis() != nullptr && child_out_cell.size() > 0) {
+      std::map<ArithVar, ArithVar> numeric_map;
+      for (const auto& [cv, pv] : child_to_parent) {
+        if (child.vars().var(cv).sort == VarSort::kNumeric) {
+          numeric_map[cv] = pv;
+        }
+      }
+      for (int p = 0; p < child_ctx.basis()->size(); ++p) {
+        Sign sign = child_out_cell.sign(p);
+        if (sign == kSignAny) continue;
+        // Only polynomials entirely over mapped variables transfer.
+        bool mapped = true;
+        for (ArithVar v : child_ctx.basis()->poly(p).Vars()) {
+          if (numeric_map.count(v) == 0) mapped = false;
+        }
+        if (!mapped) continue;
+        LinearExpr renamed_poly =
+            child_ctx.basis()->poly(p).Rename(numeric_map);
+        bool negated = false;
+        int parent_poly = parent_ctx.basis()->Find(renamed_poly, &negated);
+        if (parent_poly == -1) continue;
+        base.cell.set_sign(parent_poly,
+                           negated ? static_cast<Sign>(-sign) : sign);
+      }
+    }
+  }
+
+  std::vector<SymbolicConfig> out;
+  CompleteDecisions(parent_ctx, base, nullptr, parent_ctx.max_branches(),
+                    truncated, [&](SymbolicConfig&& next) {
+                      out.push_back(std::move(next));
+                    });
+  return out;
+}
+
+}  // namespace has

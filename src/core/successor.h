@@ -1,0 +1,165 @@
+// The symbolic successor relation (Section 4.1's transition relation on
+// symbolic instances, in partial-isomorphism-type form), together with
+// the arithmetic cell component of Section 5.
+//
+// Invariant maintained by the enumeration: every symbolic state decides
+// every atom of the task's atom family A_T (all atoms of the task's
+// services, its children's opening pre-conditions, its own closing
+// pre-condition, the property conditions over the task, plus null-check
+// atoms for every variable taking part in child input/output passing
+// and in the artifact relation). In arithmetic mode every basis
+// polynomial of the task's Hierarchical Cell Decomposition carries a
+// definite sign. Pre/post-conditions therefore evaluate two-valued.
+#ifndef HAS_CORE_SUCCESSOR_H_
+#define HAS_CORE_SUCCESSOR_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "arith/cell.h"
+#include "arith/hcd.h"
+#include "core/iso_type.h"
+#include "hltl/hltl.h"
+#include "model/artifact_system.h"
+
+namespace has {
+
+struct VerifierOptions {
+  /// Navigation depth cap for partial isomorphism types. When
+  /// use_paper_depth is set, the paper's h(T) is computed per task and
+  /// clamped to this value; otherwise this value is used directly.
+  int max_nav_depth = 2;
+  bool use_paper_depth = false;
+  /// Coverability graph node budget per (task, β, input) query.
+  size_t max_cov_nodes = 1 << 17;
+  /// Budget for successor enumeration branches per transition.
+  size_t max_branches = 1 << 12;
+  /// Repeated-reachability search knobs (see vass/repeated.h).
+  int64_t lasso_effect_bound = 128;
+  size_t lasso_max_steps = 1 << 20;
+};
+
+/// A symbolic configuration of one task: equality component + cell.
+/// The cell is empty (size 0) in no-arithmetic mode.
+struct SymbolicConfig {
+  PartialIsoType iso;
+  Cell cell;
+};
+
+/// Per-task precomputation shared by the verifier.
+class TaskContext {
+ public:
+  TaskContext(const ArtifactSystem* system, const HltlProperty* property,
+              TaskId task, const VerifierOptions& options, const Hcd* hcd);
+
+  const ArtifactSystem& system() const { return *system_; }
+  const Task& task() const { return system_->task(task_); }
+  TaskId task_id() const { return task_; }
+  int nav_depth() const { return nav_depth_; }
+  bool arithmetic() const { return basis_ != nullptr; }
+  const PolyBasis* basis() const { return basis_; }
+  size_t max_branches() const { return options_->max_branches; }
+  const VerifierOptions& options() const { return *options_; }
+
+  const std::vector<CondPtr>& eq_atoms() const { return eq_atoms_; }
+  const std::set<int>& input_vars() const { return input_vars_; }
+  const std::set<int>& set_vars() const { return set_vars_; }
+  /// Basis polynomials over numeric input variables (preserved across
+  /// internal transitions).
+  const std::vector<int>& preserved_polys() const { return preserved_polys_; }
+
+  /// Linear equalities implied by the equality component: numeric
+  /// variables in one class are equal; const tags fix values. Used to
+  /// couple the cell's satisfiability checks with the iso type.
+  LinearSystem NumericEqualities(const PartialIsoType& iso) const;
+
+  /// Two-valued-when-decided evaluation over both components.
+  Truth EvalSym(const Condition& cond, const SymbolicConfig& s) const;
+
+  /// Canonical TS-type signature: projection of the iso type onto
+  /// x̄_in ∪ s̄_T (Section 4.1). Keys the artifact-relation counters.
+  std::string TsSignature(const PartialIsoType& iso) const;
+
+  /// Input-bound test (Section 4.1): every non-null set variable is
+  /// forced equal to an input-anchored element.
+  bool TsInputBound(const PartialIsoType& iso) const;
+
+  /// Fresh task configuration at opening time: inputs constrained by
+  /// `input` (already over this task's scope), all other ID variables
+  /// null, numeric variables 0 — in arithmetic mode the numeric-zero
+  /// initialization is carried by the enumerated initial cells.
+  PartialIsoType OpeningIso(const PartialIsoType& input) const;
+
+ private:
+  void CollectAtoms();
+
+  const ArtifactSystem* system_;
+  const HltlProperty* property_;
+  TaskId task_;
+  const VerifierOptions* options_;
+  const PolyBasis* basis_;  // null in no-arithmetic mode
+  int nav_depth_ = 2;
+  std::vector<CondPtr> eq_atoms_;
+  std::set<int> input_vars_;
+  std::set<int> set_vars_;
+  std::vector<int> preserved_polys_;
+};
+
+/// One successor of an internal service application.
+struct InternalSuccessor {
+  SymbolicConfig next;
+  /// Set-update bookkeeping (empty strings when unused).
+  bool inserts = false;
+  std::string insert_sig;
+  bool insert_input_bound = false;
+  bool retrieves = false;
+  std::string retrieve_sig;
+  bool retrieve_input_bound = false;
+};
+
+/// Enumerates the symbolic successors of `cur` under internal service
+/// `svc` (whose pre-condition must already hold in `cur`). All atoms of
+/// A_T are decided in each result; `truncated` is set if the branch
+/// budget was exhausted.
+std::vector<InternalSuccessor> EnumerateInternal(const TaskContext& ctx,
+                                                 const SymbolicConfig& cur,
+                                                 const InternalService& svc,
+                                                 bool* truncated);
+
+/// Enumerates the fully-decided opening configurations of a task given
+/// a (partial) input type/cell — the τ_0 states of Definition 17.
+std::vector<SymbolicConfig> EnumerateOpening(const TaskContext& ctx,
+                                             const PartialIsoType& input_iso,
+                                             const Cell& input_cell,
+                                             bool* truncated);
+
+/// The input type a child receives when opened from `parent_state`:
+/// projection onto the passed variables, renamed into the child scope,
+/// clipped to the child's navigation depth.
+PartialIsoType ChildInputIso(const TaskContext& parent_ctx,
+                             const TaskContext& child_ctx,
+                             const SymbolicConfig& parent_state);
+
+/// The child's input cell: signs of the child's basis polynomials over
+/// its input variables, read off the parent's cell through the variable
+/// renaming (the HCD guarantees the renamed polynomials are in the
+/// parent's basis).
+Cell ChildInputCell(const TaskContext& parent_ctx,
+                    const TaskContext& child_ctx,
+                    const SymbolicConfig& parent_state);
+
+/// Applies a child's return to the parent state: null ID targets take
+/// the child's returned values, non-null ID targets keep theirs,
+/// numeric targets are overwritten; the child's output constraints on
+/// shared variables are conjoined. Returns every fully-decided parent
+/// successor (the overwritten numerics force re-enumeration of cell
+/// signs in arithmetic mode).
+std::vector<SymbolicConfig> ApplyChildReturn(
+    const TaskContext& parent_ctx, const TaskContext& child_ctx,
+    const SymbolicConfig& parent_state, const PartialIsoType& child_out_iso,
+    const Cell& child_out_cell, bool* truncated);
+
+}  // namespace has
+
+#endif  // HAS_CORE_SUCCESSOR_H_

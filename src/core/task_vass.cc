@@ -1,0 +1,382 @@
+#include "core/task_vass.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace has {
+
+TaskVass::TaskVass(const TaskContext* ctx,
+                   const std::map<TaskId, const TaskContext*>* child_ctxs,
+                   PropertyAutomata* automata, Assignment beta,
+                   PartialIsoType input_iso, Cell input_cell, RtOracle* oracle,
+                   const Condition* opening_filter)
+    : ctx_(ctx),
+      child_ctxs_(child_ctxs),
+      all_automata_(automata),
+      automata_(&automata->ForTask(ctx->task_id())),
+      beta_(beta),
+      input_iso_(std::move(input_iso)),
+      input_cell_(input_cell),
+      oracle_(oracle),
+      opening_filter_(opening_filter) {
+  buchi_ = &automata_->automaton(beta);
+}
+
+int TaskVass::InternIso(PartialIsoType iso) {
+  iso.Normalize();
+  std::string sig = iso.Signature();
+  auto it = iso_index_.find(sig);
+  if (it != iso_index_.end()) return it->second;
+  int id = static_cast<int>(iso_pool_.size());
+  iso_pool_.push_back(std::move(iso));
+  iso_index_.emplace(std::move(sig), id);
+  return id;
+}
+
+int TaskVass::InternCell(const Cell& cell) {
+  for (size_t i = 0; i < cell_pool_.size(); ++i) {
+    if (cell_pool_[i] == cell) return static_cast<int>(i);
+  }
+  cell_pool_.push_back(cell);
+  return static_cast<int>(cell_pool_.size() - 1);
+}
+
+int TaskVass::InternState(State s) {
+  std::string key = StrCat(s.iso, "|", s.cell, "|",
+                           static_cast<int>(s.service.kind), ".",
+                           s.service.task, ".", s.service.index, "|", s.q,
+                           "|");
+  for (const ChildStage& st : s.stages) {
+    key += StrCat(static_cast<int>(st.kind), ",", st.outcome, ",", st.beta,
+                  ";");
+  }
+  key += "|";
+  for (int b : s.ib_bits) key += StrCat(b, ",");
+  auto it = state_index_.find(key);
+  if (it != state_index_.end()) return it->second;
+  int id = static_cast<int>(states_.size());
+  states_.push_back(std::move(s));
+  state_index_.emplace(std::move(key), id);
+  return id;
+}
+
+int TaskVass::DimOf(const std::string& sig) {
+  auto it = dim_index_.find(sig);
+  if (it != dim_index_.end()) return it->second;
+  int id = static_cast<int>(dim_sigs_.size());
+  dim_sigs_.push_back(sig);
+  dim_index_.emplace(sig, id);
+  return id;
+}
+
+int TaskVass::IbIdOf(const std::string& sig) {
+  auto it = ib_index_.find(sig);
+  if (it != ib_index_.end()) return it->second;
+  int id = static_cast<int>(ib_sigs_.size());
+  ib_sigs_.push_back(sig);
+  ib_index_.emplace(sig, id);
+  return id;
+}
+
+int TaskVass::InternOutcome(ChildOutcome outcome) {
+  outcome.iso.Normalize();
+  std::string key = StrCat(outcome.bottom ? "B" : "R", "|",
+                           outcome.iso.Signature(), "|",
+                           outcome.cell.Hash());
+  for (size_t i = 0; i < outcomes_.size(); ++i) {
+    std::string other =
+        StrCat(outcomes_[i].bottom ? "B" : "R", "|",
+               outcomes_[i].iso.Signature(), "|", outcomes_[i].cell.Hash());
+    if (other == key) return static_cast<int>(i);
+  }
+  outcomes_.push_back(std::move(outcome));
+  return static_cast<int>(outcomes_.size() - 1);
+}
+
+std::vector<bool> TaskVass::MakeLetter(const SymbolicConfig& config,
+                                       const ServiceRef& service,
+                                       TaskId opened_child,
+                                       Assignment child_beta) const {
+  const std::vector<HltlProp>& props = automata_->props();
+  std::vector<bool> letter(props.size(), false);
+  for (size_t p = 0; p < props.size(); ++p) {
+    const HltlProp& prop = props[p];
+    switch (prop.kind) {
+      case HltlProp::Kind::kCondition: {
+        Truth t = ctx_->EvalSym(*prop.condition, config);
+        HAS_CHECK_MSG(t != Truth::kUnknown,
+                      "property condition undecided in symbolic state");
+        letter[p] = t == Truth::kTrue;
+        break;
+      }
+      case HltlProp::Kind::kService:
+        letter[p] = prop.service == service;
+        break;
+      case HltlProp::Kind::kChildFormula: {
+        // [ψ]_Tc holds iff this step opens Tc and the guessed child
+        // assignment sets ψ's bit.
+        if (opened_child == kNoTask) break;
+        const HltlNode& node =
+            all_automata_->property().node(prop.child_node);
+        if (node.task != opened_child) break;
+        int bit =
+            all_automata_->ForTask(opened_child).AssignmentBit(prop.child_node);
+        if (bit >= 0) letter[p] = ((child_beta >> bit) & 1) != 0;
+        break;
+      }
+    }
+  }
+  return letter;
+}
+
+std::vector<int> TaskVass::InitialStates() {
+  std::vector<int> out;
+  bool truncated = false;
+  std::vector<SymbolicConfig> openings =
+      EnumerateOpening(*ctx_, input_iso_, input_cell_, &truncated);
+  truncated_ = truncated_ || truncated;
+  ServiceRef open_self = ServiceRef::Opening(ctx_->task_id());
+  for (const SymbolicConfig& config : openings) {
+    if (opening_filter_ != nullptr &&
+        ctx_->EvalSym(*opening_filter_, config) != Truth::kTrue) {
+      continue;
+    }
+    std::vector<bool> letter = MakeLetter(config, open_self, kNoTask, 0);
+    for (int q : buchi_->initial()) {
+      if (!buchi_->CompatibleWith(q, letter)) continue;
+      State s;
+      s.iso = InternIso(config.iso);
+      s.cell = InternCell(config.cell);
+      s.service = open_self;
+      s.q = q;
+      s.stages.assign(ctx_->task().children().size(), ChildStage{});
+      int id = InternState(std::move(s));
+      if (std::find(out.begin(), out.end(), id) == out.end()) {
+        out.push_back(id);
+      }
+    }
+  }
+  return out;
+}
+
+void TaskVass::EmitEdges(const State& from, const SymbolicConfig& next,
+                         const ServiceRef& service, TaskId opened_child,
+                         Assignment child_beta, const Delta& delta,
+                         std::vector<ChildStage> stages,
+                         std::vector<int> ib_bits, const std::string& note,
+                         std::vector<VassEdge>* out, bool from_initial) {
+  (void)from_initial;
+  std::vector<bool> letter = MakeLetter(next, service, opened_child,
+                                        child_beta);
+  std::sort(ib_bits.begin(), ib_bits.end());
+  for (int q2 : buchi_->successors(from.q)) {
+    if (!buchi_->CompatibleWith(q2, letter)) continue;
+    State s;
+    s.iso = InternIso(next.iso);
+    s.cell = InternCell(next.cell);
+    s.service = service;
+    s.q = q2;
+    s.stages = stages;
+    s.ib_bits = ib_bits;
+    int target = InternState(std::move(s));
+    TransitionRecord rec;
+    rec.service = service;
+    rec.target_state = target;
+    rec.child_beta = child_beta;
+    rec.note = note;
+    int64_t label = static_cast<int64_t>(records_.size());
+    records_.push_back(std::move(rec));
+    out->push_back(VassEdge{target, delta, label});
+  }
+}
+
+void TaskVass::Successors(int state, std::vector<VassEdge>* out) {
+  const State snapshot = states_[state];
+  const Task& task = ctx_->task();
+  // Returned states are absorbing.
+  if (snapshot.service.kind == ServiceRef::Kind::kClosing &&
+      snapshot.service.task == ctx_->task_id()) {
+    return;
+  }
+  SymbolicConfig cur{iso_pool_[snapshot.iso], cell_pool_[snapshot.cell]};
+
+  bool any_active = false;
+  for (const ChildStage& st : snapshot.stages) {
+    if (st.kind == ChildStage::Kind::kActive ||
+        st.kind == ChildStage::Kind::kActiveBottom) {
+      any_active = true;
+    }
+  }
+
+  // (A) Internal services: all subtasks must have returned
+  // (restriction 4).
+  if (!any_active) {
+    for (size_t i = 0; i < task.services().size(); ++i) {
+      const InternalService& svc = task.service(static_cast<int>(i));
+      if (ctx_->EvalSym(*svc.pre, cur) != Truth::kTrue) continue;
+      bool truncated = false;
+      std::vector<InternalSuccessor> succs =
+          EnumerateInternal(*ctx_, cur, svc, &truncated);
+      truncated_ = truncated_ || truncated;
+      for (InternalSuccessor& s : succs) {
+        Delta delta;
+        std::vector<int> ib = snapshot.ib_bits;
+        bool feasible = true;
+        if (s.inserts) {
+          if (s.insert_input_bound) {
+            int id = IbIdOf(s.insert_sig);
+            if (std::find(ib.begin(), ib.end(), id) == ib.end()) {
+              ib.push_back(id);
+            }
+          } else {
+            delta.emplace_back(DimOf(s.insert_sig), 1);
+          }
+        }
+        if (s.retrieves) {
+          if (s.retrieve_input_bound) {
+            int id = IbIdOf(s.retrieve_sig);
+            auto it = std::find(ib.begin(), ib.end(), id);
+            if (it == ib.end()) {
+              feasible = false;  // nothing of this type in the set
+            } else {
+              ib.erase(it);
+            }
+          } else {
+            delta.emplace_back(DimOf(s.retrieve_sig), -1);
+          }
+        }
+        if (!feasible) continue;
+        std::vector<ChildStage> stages(task.children().size(),
+                                       ChildStage{});
+        EmitEdges(snapshot, s.next,
+                  ServiceRef::Internal(ctx_->task_id(), static_cast<int>(i)),
+                  kNoTask, 0, delta, std::move(stages), std::move(ib),
+                  svc.name, out, false);
+      }
+    }
+  }
+
+  // (B) Open a child (at most once per segment).
+  for (size_t c = 0; c < task.children().size(); ++c) {
+    if (snapshot.stages[c].kind != ChildStage::Kind::kInit) continue;
+    TaskId child_id = task.children()[c];
+    const Task& child = ctx_->system().task(child_id);
+    if (ctx_->EvalSym(*child.opening_pre(), cur) != Truth::kTrue) continue;
+    const TaskContext* child_ctx = child_ctxs_->at(child_id);
+    PartialIsoType child_in = ChildInputIso(*ctx_, *child_ctx, cur);
+    Cell child_in_cell = ChildInputCell(*ctx_, *child_ctx, cur);
+    int num_assignments = all_automata_->ForTask(child_id).num_assignments();
+    for (Assignment bc = 0;
+         bc < static_cast<Assignment>(num_assignments); ++bc) {
+      const ChildResult& result =
+          oracle_->Query(child_id, child_in, child_in_cell, bc);
+      std::string entry_key =
+          oracle_->KeyOf(child_id, child_in, child_in_cell, bc);
+      for (size_t oi = 0; oi < result.returning.size(); ++oi) {
+        ChildOutcome copy = result.returning[oi];
+        int outcome = InternOutcome(std::move(copy));
+        std::vector<ChildStage> stages = snapshot.stages;
+        stages[c] = ChildStage{ChildStage::Kind::kActive, outcome, bc};
+        size_t first_record = records_.size();
+        EmitEdges(snapshot, cur, ServiceRef::Opening(child_id), child_id, bc,
+                  {}, std::move(stages), snapshot.ib_bits,
+                  StrCat("open ", child.name()), out, false);
+        for (size_t ri = first_record; ri < records_.size(); ++ri) {
+          records_[ri].child_entry_key = entry_key;
+          records_[ri].child_result_index = static_cast<int>(oi);
+        }
+      }
+      if (result.has_bottom) {
+        std::vector<ChildStage> stages = snapshot.stages;
+        stages[c] = ChildStage{ChildStage::Kind::kActiveBottom, -1, bc};
+        size_t first_record = records_.size();
+        EmitEdges(snapshot, cur, ServiceRef::Opening(child_id), child_id, bc,
+                  {}, std::move(stages), snapshot.ib_bits,
+                  StrCat("open ", child.name(), " (non-returning)"), out,
+                  false);
+        for (size_t ri = first_record; ri < records_.size(); ++ri) {
+          records_[ri].child_entry_key = entry_key;
+          records_[ri].child_result_index = -1;
+        }
+      }
+    }
+  }
+
+  // (C) Close an active (returning) child.
+  for (size_t c = 0; c < task.children().size(); ++c) {
+    if (snapshot.stages[c].kind != ChildStage::Kind::kActive) continue;
+    TaskId child_id = task.children()[c];
+    const TaskContext* child_ctx = child_ctxs_->at(child_id);
+    const ChildOutcome& o = outcomes_[snapshot.stages[c].outcome];
+    bool truncated = false;
+    std::vector<SymbolicConfig> nexts = ApplyChildReturn(
+        *ctx_, *child_ctx, cur, o.iso, o.cell, &truncated);
+    truncated_ = truncated_ || truncated;
+    for (SymbolicConfig& next : nexts) {
+      std::vector<ChildStage> stages = snapshot.stages;
+      stages[c] =
+          ChildStage{ChildStage::Kind::kClosed, -1, snapshot.stages[c].beta};
+      EmitEdges(snapshot, next, ServiceRef::Closing(child_id), kNoTask, 0,
+                {}, std::move(stages), snapshot.ib_bits,
+                StrCat("close ", ctx_->system().task(child_id).name()), out,
+                false);
+    }
+  }
+
+  // (D) Close this task (terminal returning segment: every opened child
+  // has returned).
+  if (!any_active && !ctx_->task().is_root() &&
+      ctx_->EvalSym(*task.closing_pre(), cur) == Truth::kTrue) {
+    EmitEdges(snapshot, cur, ServiceRef::Closing(ctx_->task_id()), kNoTask,
+              0, {}, snapshot.stages, snapshot.ib_bits, "close self", out,
+              false);
+  }
+}
+
+bool TaskVass::IsReturning(int state) const {
+  const State& s = states_[state];
+  return s.service.kind == ServiceRef::Kind::kClosing &&
+         s.service.task == ctx_->task_id() && buchi_->finite_accepting(s.q);
+}
+
+bool TaskVass::IsBlocking(int state) const {
+  const State& s = states_[state];
+  if (!buchi_->finite_accepting(s.q)) return false;
+  for (const ChildStage& st : s.stages) {
+    if (st.kind == ChildStage::Kind::kActiveBottom) return true;
+  }
+  return false;
+}
+
+bool TaskVass::IsBuchiAccepting(int state) const {
+  return buchi_->accepting(states_[state].q);
+}
+
+ChildOutcome TaskVass::OutputOf(int state) const {
+  const State& s = states_[state];
+  const Task& task = ctx_->task();
+  std::set<int> keep(ctx_->input_vars().begin(), ctx_->input_vars().end());
+  std::vector<ArithVar> numeric_keep;
+  for (int v : task.ReturnVars()) keep.insert(v);
+  for (int v : keep) {
+    if (task.vars().var(v).sort == VarSort::kNumeric) {
+      numeric_keep.push_back(v);
+    }
+  }
+  ChildOutcome out;
+  out.bottom = false;
+  out.iso = iso_pool_[s.iso].Project(keep, ctx_->nav_depth());
+  if (ctx_->basis() != nullptr) {
+    out.cell = cell_pool_[s.cell].RestrictTo(
+        ctx_->basis()->PolysOverVars(numeric_keep));
+  }
+  return out;
+}
+
+const PartialIsoType& TaskVass::state_iso(int state) const {
+  return iso_pool_[states_[state].iso];
+}
+
+}  // namespace has

@@ -1,0 +1,180 @@
+// The per-task product VASS V(T, β) of Section 4.2. States are tuples
+//   (iso type τ, cell, current service σ, Büchi state q of B(T,β),
+//    child stages ō, input-bound bits c̄_ib)
+// and the counter dimensions are the (non-input-bound) TS-isomorphism
+// types discovered during exploration. Transitions implement the
+// symbolic successor relation; opening a child guesses an entry
+// (τ_in, τ_out, β_c) of the child's R_Tc relation through the RtOracle.
+#ifndef HAS_CORE_TASK_VASS_H_
+#define HAS_CORE_TASK_VASS_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/successor.h"
+#include "hltl/assignments.h"
+#include "vass/vass.h"
+
+namespace has {
+
+/// A child output option: either a returning output (iso/cell) or ⊥.
+struct ChildOutcome {
+  bool bottom = false;  ///< the child call never returns
+  PartialIsoType iso;   ///< over the child scope, projected to in ∪ ret
+  Cell cell;
+};
+
+/// Results of a child R_Tc query for one (input, β_c).
+struct ChildResult {
+  std::vector<ChildOutcome> returning;  ///< distinct outputs
+  bool has_bottom = false;              ///< lasso or blocking run exists
+};
+
+/// Interface the product uses to query children (implemented by the
+/// RtEngine with memoization; Lemma 21's recursion).
+class RtOracle {
+ public:
+  virtual ~RtOracle() = default;
+  virtual const ChildResult& Query(TaskId child,
+                                   const PartialIsoType& input_iso,
+                                   const Cell& input_cell,
+                                   Assignment beta) = 0;
+  /// Memo key of the query (for counterexample expansion).
+  virtual std::string KeyOf(TaskId child, const PartialIsoType& input_iso,
+                            const Cell& input_cell,
+                            Assignment beta) const = 0;
+};
+
+/// Child stage within the current segment.
+struct ChildStage {
+  enum class Kind : uint8_t { kInit, kActive, kActiveBottom, kClosed };
+  Kind kind = Kind::kInit;
+  int outcome = -1;         ///< index into TaskVass outcome registry
+  Assignment beta = 0;      ///< β_c guessed at the opening
+
+  bool operator==(const ChildStage& o) const {
+    return kind == o.kind && outcome == o.outcome && beta == o.beta;
+  }
+  bool operator<(const ChildStage& o) const {
+    if (kind != o.kind) return kind < o.kind;
+    if (outcome != o.outcome) return outcome < o.outcome;
+    return beta < o.beta;
+  }
+};
+
+/// What a transition did — used to decode counterexample paths.
+struct TransitionRecord {
+  ServiceRef service;
+  int target_state = -1;
+  /// For child openings: the guessed β_c and outcome index (-1 = ⊥).
+  Assignment child_beta = 0;
+  int child_outcome = -1;
+  /// Memo key of the child query and the index into its returning set
+  /// (-1 for ⊥ outcomes); used to expand the child's witness run.
+  std::string child_entry_key;
+  int child_result_index = -1;
+  std::string note;
+};
+
+class TaskVass : public VassSystem {
+ public:
+  /// `opening_filter` (nullable) must hold at opening configurations —
+  /// the verifier passes Π for the root task.
+  TaskVass(const TaskContext* ctx,
+           const std::map<TaskId, const TaskContext*>* child_ctxs,
+           PropertyAutomata* automata, Assignment beta,
+           PartialIsoType input_iso, Cell input_cell, RtOracle* oracle,
+           const Condition* opening_filter);
+
+  /// Builds and interns the initial states; returns their ids.
+  std::vector<int> InitialStates();
+
+  void Successors(int state, std::vector<VassEdge>* out) override;
+
+  // --- state inspection (used by the RT computation) -------------------
+  int num_states() const { return static_cast<int>(states_.size()); }
+  bool IsReturning(int state) const;   ///< σ = σ^c_T and q ∈ Qfin
+  bool IsBlocking(int state) const;    ///< q ∈ Qfin and some child ⊥
+  bool IsBuchiAccepting(int state) const;
+  /// Output type of a returning state: projection onto x̄_in ∪ x̄_ret.
+  ChildOutcome OutputOf(int state) const;
+
+  const TransitionRecord& record(int64_t label) const {
+    return records_[static_cast<size_t>(label)];
+  }
+  const PartialIsoType& state_iso(int state) const;
+  ServiceRef state_service(int state) const {
+    return states_[state].service;
+  }
+  int state_buchi(int state) const { return states_[state].q; }
+  const std::vector<ChildStage>& state_stages(int state) const {
+    return states_[state].stages;
+  }
+
+  /// Whether any successor enumeration hit the branch budget.
+  bool truncated() const { return truncated_; }
+  /// Counter dimensions allocated so far (TS types).
+  int num_dimensions() const { return static_cast<int>(dim_sigs_.size()); }
+  size_t num_outcomes() const { return outcomes_.size(); }
+  const ChildOutcome& outcome(int i) const { return outcomes_[i]; }
+
+ private:
+  struct State {
+    int iso = -1;   // index into iso_pool_
+    int cell = -1;  // index into cell_pool_
+    ServiceRef service;
+    int q = -1;
+    std::vector<ChildStage> stages;       // parallel to task children
+    std::vector<int> ib_bits;             // sorted ib-signature ids set to 1
+  };
+
+  int InternIso(PartialIsoType iso);
+  int InternCell(const Cell& cell);
+  int InternState(State s);
+  int DimOf(const std::string& sig);
+  int IbIdOf(const std::string& sig);
+  int InternOutcome(ChildOutcome outcome);
+
+  /// Letter of a configuration for the Büchi product.
+  std::vector<bool> MakeLetter(const SymbolicConfig& config,
+                               const ServiceRef& service, TaskId opened_child,
+                               Assignment child_beta) const;
+
+  /// Pushes edges for all Büchi-compatible q successors.
+  void EmitEdges(const State& from_template, const SymbolicConfig& next,
+                 const ServiceRef& service, TaskId opened_child,
+                 Assignment child_beta, const Delta& delta,
+                 std::vector<ChildStage> stages, std::vector<int> ib_bits,
+                 const std::string& note, std::vector<VassEdge>* out,
+                 bool from_initial);
+
+  const TaskContext* ctx_;
+  const std::map<TaskId, const TaskContext*>* child_ctxs_;
+  PropertyAutomata* all_automata_;
+  TaskAutomata* automata_;
+  Assignment beta_;
+  PartialIsoType input_iso_;
+  Cell input_cell_;
+  RtOracle* oracle_;
+  const Condition* opening_filter_;
+  const BuchiAutomaton* buchi_ = nullptr;
+
+  std::vector<PartialIsoType> iso_pool_;
+  std::map<std::string, int> iso_index_;
+  std::vector<Cell> cell_pool_;
+  std::vector<State> states_;
+  std::map<std::string, int> state_index_;
+  std::vector<std::string> dim_sigs_;
+  std::map<std::string, int> dim_index_;
+  std::vector<std::string> ib_sigs_;
+  std::map<std::string, int> ib_index_;
+  std::vector<ChildOutcome> outcomes_;
+  std::vector<TransitionRecord> records_;
+  bool truncated_ = false;
+};
+
+}  // namespace has
+
+#endif  // HAS_CORE_TASK_VASS_H_

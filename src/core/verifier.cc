@@ -1,0 +1,139 @@
+#include "core/verifier.h"
+
+#include "core/counterexample.h"
+
+#include "common/strings.h"
+
+namespace has {
+
+const char* VerdictName(Verdict v) {
+  switch (v) {
+    case Verdict::kHolds:
+      return "HOLDS";
+    case Verdict::kViolated:
+      return "VIOLATED";
+    case Verdict::kInconclusive:
+      return "INCONCLUSIVE";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Collects the genuinely arithmetic constraints of a condition.
+void CollectArithPolys(const CondPtr& cond, std::vector<LinearExpr>* out) {
+  if (cond == nullptr) return;
+  std::vector<const Condition*> atoms;
+  cond->CollectAtoms(&atoms);
+  for (const Condition* a : atoms) {
+    if (a->kind() == CondKind::kArith && a->UsesArithmetic()) {
+      out->push_back(a->constraint().expr);
+    }
+  }
+}
+
+}  // namespace
+
+bool SystemUsesArithmetic(const ArtifactSystem& system,
+                          const HltlProperty& property) {
+  for (TaskId t = 0; t < system.num_tasks(); ++t) {
+    const Task& task = system.task(t);
+    for (const InternalService& s : task.services()) {
+      if (s.pre->UsesArithmetic() || s.post->UsesArithmetic()) return true;
+    }
+    if (task.closing_pre()->UsesArithmetic()) return true;
+    if (task.opening_pre()->UsesArithmetic()) return true;
+  }
+  if (system.global_pre()->UsesArithmetic()) return true;
+  for (int n = 0; n < property.num_nodes(); ++n) {
+    for (const HltlProp& p : property.node(n).props) {
+      if (p.kind == HltlProp::Kind::kCondition &&
+          p.condition->UsesArithmetic()) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+Hcd BuildSystemHcd(const ArtifactSystem& system,
+                   const HltlProperty& property) {
+  std::vector<HcdNode> nodes(system.num_tasks());
+  for (TaskId t = 0; t < system.num_tasks(); ++t) {
+    const Task& task = system.task(t);
+    HcdNode& node = nodes[t];
+    for (const InternalService& s : task.services()) {
+      CollectArithPolys(s.pre, &node.own_polys);
+      CollectArithPolys(s.post, &node.own_polys);
+    }
+    CollectArithPolys(task.closing_pre(), &node.own_polys);
+    for (TaskId c : task.children()) {
+      // A child's opening pre-condition is over the parent's scope.
+      CollectArithPolys(system.task(c).opening_pre(), &node.own_polys);
+    }
+    for (int n = 0; n < property.num_nodes(); ++n) {
+      if (property.node(n).task != t) continue;
+      for (const HltlProp& p : property.node(n).props) {
+        if (p.kind == HltlProp::Kind::kCondition) {
+          CollectArithPolys(p.condition, &node.own_polys);
+        }
+      }
+    }
+    if (t == system.root()) {
+      CollectArithPolys(system.global_pre(), &node.own_polys);
+    }
+    for (TaskId c : task.children()) {
+      const Task& child = system.task(c);
+      node.children.push_back(c);
+      std::map<ArithVar, ArithVar> map;
+      for (const auto& [child_var, parent_var] : child.fin()) {
+        if (child.vars().var(child_var).sort == VarSort::kNumeric) {
+          map[child_var] = parent_var;
+        }
+      }
+      for (const auto& [parent_var, child_var] : child.fout()) {
+        if (child.vars().var(child_var).sort == VarSort::kNumeric) {
+          map[child_var] = parent_var;
+        }
+      }
+      node.child_var_to_parent.push_back(std::move(map));
+    }
+  }
+  return Hcd::Build(nodes, system.root());
+}
+
+VerifyResult Verify(const ArtifactSystem& system,
+                    const HltlProperty& property,
+                    const VerifierOptions& options) {
+  VerifyResult result;
+  {
+    Status s = ValidateSystem(system);
+    HAS_CHECK_MSG(s.ok(), StrCat("invalid system: ", s.ToString()));
+    s = property.Validate(system);
+    HAS_CHECK_MSG(s.ok(), StrCat("invalid property: ", s.ToString()));
+  }
+
+  HltlProperty negated = property.Negated();
+  result.used_arithmetic = SystemUsesArithmetic(system, property);
+  std::optional<Hcd> hcd;
+  if (result.used_arithmetic) {
+    hcd = BuildSystemHcd(system, negated);
+    result.hcd_polys = hcd->TotalPolys();
+  }
+
+  RtEngine engine(&system, &negated, options,
+                  hcd.has_value() ? &*hcd : nullptr);
+  RtEngine::RootWitness witness = engine.CheckRoot();
+  result.stats = engine.stats();
+  if (witness.satisfiable) {
+    result.verdict = Verdict::kViolated;
+    result.counterexample = FormatCounterexample(engine, witness, system);
+  } else if (engine.stats().truncated) {
+    result.verdict = Verdict::kInconclusive;
+  } else {
+    result.verdict = Verdict::kHolds;
+  }
+  return result;
+}
+
+}  // namespace has

@@ -1,0 +1,87 @@
+// Concrete values for artifact variables and database attributes.
+// Per Definition 1, ID domains are pairwise-disjoint countable sets (one
+// per relation), disjoint from the numeric domain R; `null` is a special
+// constant outside every domain. IDs are therefore tagged with their
+// relation.
+#ifndef HAS_DATA_VALUE_H_
+#define HAS_DATA_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/hashing.h"
+#include "schema/schema.h"
+
+namespace has {
+
+enum class ValueKind : uint8_t { kNull, kId, kReal };
+
+/// A concrete value: null, a relation-tagged ID, or a real number.
+/// Small value type; compared structurally.
+class Value {
+ public:
+  Value() : kind_(ValueKind::kNull), relation_(kNoRelation), bits_(0) {}
+
+  static Value Null() { return Value(); }
+  static Value Id(RelationId relation, uint64_t id) {
+    Value v;
+    v.kind_ = ValueKind::kId;
+    v.relation_ = relation;
+    v.bits_ = id;
+    return v;
+  }
+  static Value Real(double x) {
+    Value v;
+    v.kind_ = ValueKind::kReal;
+    v.real_ = x;
+    return v;
+  }
+
+  ValueKind kind() const { return kind_; }
+  bool is_null() const { return kind_ == ValueKind::kNull; }
+  bool is_id() const { return kind_ == ValueKind::kId; }
+  bool is_real() const { return kind_ == ValueKind::kReal; }
+
+  /// Relation of an ID value (kNoRelation for non-IDs).
+  RelationId relation() const { return relation_; }
+  /// Raw ID (only meaningful for is_id()).
+  uint64_t id() const { return bits_; }
+  /// Numeric payload (only meaningful for is_real()).
+  double real() const { return real_; }
+
+  bool operator==(const Value& o) const {
+    if (kind_ != o.kind_) return false;
+    switch (kind_) {
+      case ValueKind::kNull:
+        return true;
+      case ValueKind::kId:
+        return relation_ == o.relation_ && bits_ == o.bits_;
+      case ValueKind::kReal:
+        return real_ == o.real_;
+    }
+    return false;
+  }
+  bool operator!=(const Value& o) const { return !(*this == o); }
+  bool operator<(const Value& o) const;
+
+  std::string ToString() const;
+
+  size_t Hash() const;
+
+ private:
+  ValueKind kind_;
+  RelationId relation_;
+  union {
+    uint64_t bits_;
+    double real_;
+  };
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace has
+
+#endif  // HAS_DATA_VALUE_H_

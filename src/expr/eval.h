@@ -1,0 +1,26 @@
+// Concrete evaluation of conditions against a database instance and a
+// valuation of artifact variables (the D ∪ C |= α(ν) judgment of
+// Section 2). Relation atoms with any null argument are false, per the
+// paper's semantics.
+#ifndef HAS_EXPR_EVAL_H_
+#define HAS_EXPR_EVAL_H_
+
+#include <vector>
+
+#include "data/instance.h"
+#include "expr/condition.h"
+
+namespace has {
+
+/// A valuation ν: one Value per variable of the scope.
+using Valuation = std::vector<Value>;
+
+/// Evaluates `cond` under valuation `nu` over database `db`.
+/// Numeric variables must hold real values (never null); the caller is
+/// responsible for the initialization ν(x)=0 for numeric variables.
+bool EvalCondition(const Condition& cond, const DatabaseInstance& db,
+                   const Valuation& nu);
+
+}  // namespace has
+
+#endif  // HAS_EXPR_EVAL_H_

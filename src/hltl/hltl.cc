@@ -1,0 +1,135 @@
+#include "hltl/hltl.h"
+
+#include <functional>
+#include <set>
+
+#include "common/strings.h"
+
+namespace has {
+
+int HltlProperty::AddNode(HltlNode node) {
+  nodes_.push_back(std::move(node));
+  return static_cast<int>(nodes_.size() - 1);
+}
+
+std::vector<int> HltlProperty::NodesOfTask(TaskId t) const {
+  std::vector<int> out;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].task == t) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+HltlProperty HltlProperty::Negated() const {
+  HltlProperty out = *this;
+  out.nodes_[0].skeleton = LtlFormula::Not(out.nodes_[0].skeleton);
+  return out;
+}
+
+Status HltlProperty::Validate(const ArtifactSystem& system) const {
+  if (nodes_.empty()) {
+    return Status::InvalidArgument("property has no nodes");
+  }
+  if (nodes_[0].task != system.root()) {
+    return Status::InvalidArgument("node 0 must be over the root task");
+  }
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const HltlNode& n = nodes_[i];
+    if (n.task < 0 || n.task >= system.num_tasks()) {
+      return Status::InvalidArgument(StrCat("node ", i, ": bad task id"));
+    }
+    const Task& t = system.task(n.task);
+    if (n.skeleton == nullptr) {
+      return Status::InvalidArgument(StrCat("node ", i, ": null skeleton"));
+    }
+    int max_prop = n.skeleton->MaxProp();
+    if (max_prop >= static_cast<int>(n.props.size())) {
+      return Status::InvalidArgument(
+          StrCat("node ", i, ": skeleton references prop ", max_prop,
+                 " beyond prop table"));
+    }
+    for (size_t p = 0; p < n.props.size(); ++p) {
+      const HltlProp& prop = n.props[p];
+      switch (prop.kind) {
+        case HltlProp::Kind::kCondition: {
+          Status s = prop.condition->CheckWellFormed(t.vars(),
+                                                     system.schema());
+          if (!s.ok()) {
+            return Status::InvalidArgument(
+                StrCat("node ", i, " prop ", p, ": ", s.message()));
+          }
+          break;
+        }
+        case HltlProp::Kind::kService: {
+          bool observable = false;
+          for (const ServiceRef& s : system.ObservableServices(n.task)) {
+            if (s == prop.service) {
+              observable = true;
+              break;
+            }
+          }
+          if (!observable) {
+            return Status::InvalidArgument(
+                StrCat("node ", i, " prop ", p,
+                       ": service not observable by task ", t.name()));
+          }
+          break;
+        }
+        case HltlProp::Kind::kChildFormula: {
+          if (prop.child_node < 0 ||
+              prop.child_node >= static_cast<int>(nodes_.size())) {
+            return Status::InvalidArgument(
+                StrCat("node ", i, " prop ", p, ": bad child node"));
+          }
+          TaskId child_task = nodes_[prop.child_node].task;
+          bool is_child = false;
+          for (TaskId c : t.children()) {
+            if (c == child_task) {
+              is_child = true;
+              break;
+            }
+          }
+          if (!is_child) {
+            return Status::InvalidArgument(StrCat(
+                "node ", i, " prop ", p, ": [ψ] refers to task ",
+                system.task(child_task).name(), " which is not a child of ",
+                t.name()));
+          }
+          break;
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+std::string HltlProperty::ToString(const ArtifactSystem& system) const {
+  std::string out;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const HltlNode& n = nodes_[i];
+    const Task& t = system.task(n.task);
+    auto prop_name = [&](int p) -> std::string {
+      if (p < 0 || p >= static_cast<int>(n.props.size())) {
+        return StrCat("?p", p);
+      }
+      const HltlProp& prop = n.props[p];
+      switch (prop.kind) {
+        case HltlProp::Kind::kCondition:
+          return StrCat("{", prop.condition->ToString(t.vars(),
+                                                      &system.schema()),
+                        "}");
+        case HltlProp::Kind::kService:
+          return system.ServiceName(prop.service);
+        case HltlProp::Kind::kChildFormula:
+          return StrCat("[node", prop.child_node, "]_",
+                        system.task(nodes_[prop.child_node].task).name());
+      }
+      return "?";
+    };
+    out += StrCat("node ", i, " [.]_", t.name(), ": ",
+                  n.skeleton->ToString(prop_name), "\n");
+  }
+  return out;
+}
+
+}  // namespace has

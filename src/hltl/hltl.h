@@ -1,0 +1,90 @@
+// HLTL-FO (Section 3, Definition 12). A property is a tree of per-task
+// formulas: each node is an LTL skeleton for one task whose
+// propositions are (i) quantifier-free conditions over the task's
+// variables, (ii) service propositions from Σ^obs_T, or (iii) child
+// subformulas [ψ]_Tc referring to another node of the tree for a child
+// task. The property itself is [ξ]_T1 where node 0 is ξ over the root.
+//
+// Global variables and set atoms are compiled away by the caller as in
+// Lemma 30 (the spec language performs the x=y flag-pair encoding).
+#ifndef HAS_HLTL_HLTL_H_
+#define HAS_HLTL_HLTL_H_
+
+#include <string>
+#include <vector>
+
+#include "ltl/formula.h"
+#include "model/artifact_system.h"
+
+namespace has {
+
+/// A proposition of a per-task HLTL skeleton.
+struct HltlProp {
+  enum class Kind : uint8_t { kCondition, kService, kChildFormula };
+
+  Kind kind = Kind::kCondition;
+  CondPtr condition;          ///< kCondition: over the task's scope
+  ServiceRef service;         ///< kService
+  int child_node = -1;        ///< kChildFormula: index into the node table
+
+  static HltlProp Cond(CondPtr c) {
+    HltlProp p;
+    p.kind = Kind::kCondition;
+    p.condition = std::move(c);
+    return p;
+  }
+  static HltlProp Service(ServiceRef s) {
+    HltlProp p;
+    p.kind = Kind::kService;
+    p.service = s;
+    return p;
+  }
+  static HltlProp Child(int node) {
+    HltlProp p;
+    p.kind = Kind::kChildFormula;
+    p.child_node = node;
+    return p;
+  }
+};
+
+/// One [ψ]_T node.
+struct HltlNode {
+  TaskId task = kNoTask;
+  LtlPtr skeleton;              ///< LTL over local prop ids
+  std::vector<HltlProp> props;  ///< local prop table
+};
+
+/// A full HLTL-FO property over an artifact system.
+class HltlProperty {
+ public:
+  /// Adds a node; node 0 must be the root formula (over the root task).
+  int AddNode(HltlNode node);
+
+  /// Mutable access (the parser reserves node 0 and patches it last).
+  HltlNode& mutable_node(int i) { return nodes_[i]; }
+
+  const HltlNode& node(int i) const { return nodes_[i]; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int root_node() const { return 0; }
+
+  /// Nodes whose task is `t` — the set Φ_T of the paper.
+  std::vector<int> NodesOfTask(TaskId t) const;
+
+  /// The property with the root skeleton negated ([¬ξ]_T1); used to
+  /// search for counterexamples.
+  HltlProperty Negated() const;
+
+  /// Structural checks: node 0 over the root; child props reference
+  /// nodes of child tasks; conditions well-formed; service props
+  /// observable by the node's task.
+  Status Validate(const ArtifactSystem& system) const;
+
+  std::string ToString(const ArtifactSystem& system) const;
+
+ private:
+  std::vector<HltlNode> nodes_;
+};
+
+}  // namespace has
+
+#endif  // HAS_HLTL_HLTL_H_

@@ -1,0 +1,346 @@
+#include "ltl/buchi.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace has {
+
+namespace {
+
+/// The closure: all subformula nodes in post-order (children before
+/// parents), deduplicated structurally by (kind, prop, child indices).
+struct Closure {
+  std::vector<const LtlFormula*> nodes;  // representative per entry
+  std::vector<LtlKind> kinds;
+  std::vector<int> props;
+  std::vector<int> left;   // closure index or -1
+  std::vector<int> right;  // closure index or -1
+  int root = -1;
+  std::vector<int> untils;  // closure indices of U-nodes
+  std::vector<int> nexts;   // closure indices of X-nodes
+
+  int Add(const LtlFormula* f) {
+    int l = f->left() ? Add(f->left().get()) : -1;
+    int r = f->right() ? Add(f->right().get()) : -1;
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      if (kinds[i] == f->kind() && props[i] == f->prop() && left[i] == l &&
+          right[i] == r) {
+        return static_cast<int>(i);
+      }
+    }
+    nodes.push_back(f);
+    kinds.push_back(f->kind());
+    props.push_back(f->prop());
+    left.push_back(l);
+    right.push_back(r);
+    int idx = static_cast<int>(nodes.size() - 1);
+    if (f->kind() == LtlKind::kUntil) untils.push_back(idx);
+    if (f->kind() == LtlKind::kNext) nexts.push_back(idx);
+    return idx;
+  }
+};
+
+/// A tableau atom: membership bit per closure entry. Memberships of
+/// boolean combinations are forced by the children; props, X and
+/// (partially) U memberships are free.
+using Atom = std::vector<bool>;
+
+void EnumerateAtoms(const Closure& cl, std::vector<Atom>* out) {
+  Atom cur(cl.nodes.size(), false);
+  std::function<void(size_t)> rec = [&](size_t i) {
+    if (i == cl.nodes.size()) {
+      out->push_back(cur);
+      return;
+    }
+    switch (cl.kinds[i]) {
+      case LtlKind::kTrue:
+        cur[i] = true;
+        rec(i + 1);
+        break;
+      case LtlKind::kFalse:
+        cur[i] = false;
+        rec(i + 1);
+        break;
+      case LtlKind::kNot:
+        cur[i] = !cur[cl.left[i]];
+        rec(i + 1);
+        break;
+      case LtlKind::kAnd:
+        cur[i] = cur[cl.left[i]] && cur[cl.right[i]];
+        rec(i + 1);
+        break;
+      case LtlKind::kOr:
+        cur[i] = cur[cl.left[i]] || cur[cl.right[i]];
+        rec(i + 1);
+        break;
+      case LtlKind::kProp:
+      case LtlKind::kNext:
+        cur[i] = false;
+        rec(i + 1);
+        cur[i] = true;
+        rec(i + 1);
+        break;
+      case LtlKind::kUntil: {
+        bool l = cur[cl.left[i]];
+        bool r = cur[cl.right[i]];
+        if (r) {
+          // ψ2 holds now, so the until holds.
+          cur[i] = true;
+          rec(i + 1);
+        } else if (l) {
+          // Depends on the future: both memberships are consistent.
+          cur[i] = false;
+          rec(i + 1);
+          cur[i] = true;
+          rec(i + 1);
+        } else {
+          cur[i] = false;
+          rec(i + 1);
+        }
+        break;
+      }
+    }
+  };
+  rec(0);
+}
+
+/// One-step consistency: X-obligations and U-expansions.
+bool CanFollow(const Closure& cl, const Atom& s, const Atom& t) {
+  for (int x : cl.nexts) {
+    if (s[x] != t[cl.left[x]]) return false;
+  }
+  for (int u : cl.untils) {
+    bool now = s[u];
+    bool expansion = s[cl.right[u]] || (s[cl.left[u]] && t[u]);
+    if (now != expansion) return false;
+  }
+  return true;
+}
+
+/// Whether an atom may label the LAST position of a finite word:
+/// strong-next formulas must be false and every pending until must be
+/// discharged now.
+bool CanEndWord(const Closure& cl, const Atom& s) {
+  for (int x : cl.nexts) {
+    if (s[x]) return false;
+  }
+  for (int u : cl.untils) {
+    if (s[u] && !s[cl.right[u]]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool BuchiAutomaton::CompatibleWith(int q,
+                                    const std::vector<bool>& letter) const {
+  HAS_CHECK(static_cast<int>(letter.size()) >= num_props_);
+  for (int p = 0; p < num_props_; ++p) {
+    if (constrained_[p] && props_[q][p] != letter[p]) return false;
+  }
+  return true;
+}
+
+bool BuchiAutomaton::AcceptsFinite(
+    const std::vector<std::vector<bool>>& word) const {
+  if (word.empty()) return false;
+  std::set<int> frontier;
+  for (int q : initial_) {
+    if (CompatibleWith(q, word[0])) frontier.insert(q);
+  }
+  for (size_t i = 1; i < word.size(); ++i) {
+    std::set<int> next;
+    for (int q : frontier) {
+      for (int q2 : succ_[q]) {
+        if (CompatibleWith(q2, word[i])) next.insert(q2);
+      }
+    }
+    frontier = std::move(next);
+    if (frontier.empty()) return false;
+  }
+  for (int q : frontier) {
+    if (finite_accepting_[q]) return true;
+  }
+  return false;
+}
+
+bool BuchiAutomaton::AcceptsLasso(
+    const std::vector<std::vector<bool>>& prefix,
+    const std::vector<std::vector<bool>>& loop) const {
+  HAS_CHECK(!loop.empty());
+  // Product positions: prefix offsets then loop offsets; find a
+  // reachable cycle through an accepting product node within the loop
+  // region (the counter-free structure of the position graph makes
+  // plain SCC-free cycle detection on (state, loop offset) sound).
+  const size_t plen = prefix.size();
+  const size_t llen = loop.size();
+  auto letter = [&](size_t pos) -> const std::vector<bool>& {
+    return pos < plen ? prefix[pos] : loop[(pos - plen) % llen];
+  };
+  // Reachable (state, canonical position) pairs; canonical positions in
+  // [0, plen + llen).
+  const size_t positions = plen + llen;
+  std::vector<std::vector<bool>> reach(num_states(),
+                                       std::vector<bool>(positions, false));
+  std::vector<std::pair<int, size_t>> stack;
+  for (int q : initial_) {
+    if (CompatibleWith(q, letter(0))) {
+      size_t c0 = positions == 0 ? 0 : (0 < plen ? 0 : plen);
+      if (!reach[q][c0]) {
+        reach[q][c0] = true;
+        stack.emplace_back(q, c0);
+      }
+    }
+  }
+  auto canon = [&](size_t pos) -> size_t {
+    return pos < positions ? pos : plen + ((pos - plen) % llen);
+  };
+  while (!stack.empty()) {
+    auto [q, pos] = stack.back();
+    stack.pop_back();
+    size_t next_pos = canon(pos + 1);
+    for (int q2 : succ_[q]) {
+      if (!CompatibleWith(q2, letter(next_pos))) continue;
+      if (!reach[q2][next_pos]) {
+        reach[q2][next_pos] = true;
+        stack.emplace_back(q2, next_pos);
+      }
+    }
+  }
+  // A lasso exists iff some accepting (q, pos) with pos in the loop
+  // region lies on a cycle of the product restricted to loop positions.
+  // Since the loop region of the position graph is a simple cycle of
+  // length llen, a product node lies on a cycle iff it can reach itself
+  // in k*llen steps; we detect this with a DFS bounded by
+  // num_states()*llen steps via reachability in the product.
+  for (int q = 0; q < num_states(); ++q) {
+    for (size_t pos = plen; pos < positions; ++pos) {
+      if (!reach[q][pos] || !accepting_[q]) continue;
+      // BFS from (q,pos) looking for a return to (q,pos).
+      std::vector<std::vector<bool>> seen(num_states(),
+                                          std::vector<bool>(positions, false));
+      std::vector<std::pair<int, size_t>> bfs = {{q, pos}};
+      bool found = false;
+      while (!bfs.empty() && !found) {
+        auto [u, up] = bfs.back();
+        bfs.pop_back();
+        size_t next_pos = canon(up + 1);
+        for (int v : succ_[u]) {
+          if (!CompatibleWith(v, letter(next_pos))) continue;
+          if (v == q && next_pos == pos) {
+            found = true;
+            break;
+          }
+          if (!seen[v][next_pos]) {
+            seen[v][next_pos] = true;
+            bfs.emplace_back(v, next_pos);
+          }
+        }
+      }
+      if (found) return true;
+    }
+  }
+  return false;
+}
+
+std::string BuchiAutomaton::Stats() const {
+  int acc = 0, fin = 0, edges = 0;
+  for (int q = 0; q < num_states(); ++q) {
+    if (accepting_[q]) ++acc;
+    if (finite_accepting_[q]) ++fin;
+    edges += static_cast<int>(succ_[q].size());
+  }
+  return StrCat(num_states(), " states, ", edges, " edges, ", acc,
+                " accepting, ", fin, " finite-accepting, ", initial_.size(),
+                " initial");
+}
+
+BuchiAutomaton BuildBuchi(const LtlPtr& formula, int num_props) {
+  Closure cl;
+  cl.root = cl.Add(formula.get());
+
+  std::vector<Atom> atoms;
+  EnumerateAtoms(cl, &atoms);
+
+  const int k = static_cast<int>(cl.untils.size());
+  // Degeneralized states (atom, counter), counter ∈ [0, k]: value c < k
+  // means "waiting to discharge until #c"; value k is the flush marker
+  // visited exactly when all k untils discharged in rotation, and is the
+  // (only) accepting value. With k == 0 the single counter value 0 is
+  // accepting.
+  const int counters = k + 1;
+
+  BuchiAutomaton b;
+  b.num_props_ = num_props;
+  const int n = static_cast<int>(atoms.size());
+  auto state_id = [&](int atom, int counter) {
+    return atom * counters + counter;
+  };
+  const int total = n * counters;
+  b.succ_.assign(total, {});
+  b.accepting_.assign(total, false);
+  b.finite_accepting_.assign(total, false);
+  b.props_.assign(total, std::vector<bool>(num_props, false));
+  b.constrained_.assign(num_props, false);
+  for (size_t i = 0; i < cl.nodes.size(); ++i) {
+    if (cl.kinds[i] == LtlKind::kProp && cl.props[i] >= 0 &&
+        cl.props[i] < num_props) {
+      b.constrained_[cl.props[i]] = true;
+    }
+  }
+
+  // Per-atom proposition signature.
+  for (int a = 0; a < n; ++a) {
+    std::vector<bool> sig(num_props, false);
+    for (size_t i = 0; i < cl.nodes.size(); ++i) {
+      if (cl.kinds[i] == LtlKind::kProp && cl.props[i] >= 0 &&
+          cl.props[i] < num_props) {
+        sig[cl.props[i]] = atoms[a][i];
+      }
+    }
+    for (int c = 0; c < counters; ++c) b.props_[state_id(a, c)] = sig;
+  }
+
+  // Until #i is discharged at an atom when the until is not pending
+  // there or its right-hand side holds there.
+  auto discharged = [&](int atom, int u_index) {
+    int u = cl.untils[u_index];
+    return !atoms[atom][u] || atoms[atom][cl.right[u]];
+  };
+  // Target counter when leaving `atom` with counter `c`.
+  auto next_counter = [&](int atom, int c) {
+    if (k == 0) return 0;
+    int eff = (c == k) ? 0 : c;  // the flush marker behaves like 0
+    while (eff < k && discharged(atom, eff)) ++eff;
+    return eff;  // == k when everything discharged in rotation: flush
+  };
+
+  for (int a = 0; a < n; ++a) {
+    for (int a2 = 0; a2 < n; ++a2) {
+      if (!CanFollow(cl, atoms[a], atoms[a2])) continue;
+      for (int c = 0; c < counters; ++c) {
+        b.succ_[state_id(a, c)].push_back(state_id(a2, next_counter(a, c)));
+      }
+    }
+  }
+  for (int a = 0; a < n; ++a) {
+    for (int c = 0; c < counters; ++c) {
+      if (k == 0 || c == k) b.accepting_[state_id(a, c)] = true;
+    }
+    if (CanEndWord(cl, atoms[a])) {
+      for (int c = 0; c < counters; ++c) {
+        b.finite_accepting_[state_id(a, c)] = true;
+      }
+    }
+  }
+  for (int a = 0; a < n; ++a) {
+    if (atoms[a][cl.root]) b.initial_.push_back(state_id(a, 0));
+  }
+  return b;
+}
+
+}  // namespace has

@@ -1,0 +1,242 @@
+#include "ltl/formula.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace has {
+
+// Factory helper with access to private members.
+struct LtlFactory {
+  static LtlPtr Make(LtlKind kind, int prop, LtlPtr left, LtlPtr right) {
+    auto f = std::shared_ptr<LtlFormula>(new LtlFormula());
+    f->kind_ = kind;
+    f->prop_ = prop;
+    f->left_ = std::move(left);
+    f->right_ = std::move(right);
+    return f;
+  }
+};
+
+LtlPtr LtlFormula::True() {
+  return LtlFactory::Make(LtlKind::kTrue, -1, nullptr, nullptr);
+}
+LtlPtr LtlFormula::False() {
+  return LtlFactory::Make(LtlKind::kFalse, -1, nullptr, nullptr);
+}
+LtlPtr LtlFormula::Prop(int id) {
+  return LtlFactory::Make(LtlKind::kProp, id, nullptr, nullptr);
+}
+LtlPtr LtlFormula::Not(LtlPtr a) {
+  return LtlFactory::Make(LtlKind::kNot, -1, std::move(a), nullptr);
+}
+LtlPtr LtlFormula::And(LtlPtr a, LtlPtr b) {
+  return LtlFactory::Make(LtlKind::kAnd, -1, std::move(a), std::move(b));
+}
+LtlPtr LtlFormula::Or(LtlPtr a, LtlPtr b) {
+  return LtlFactory::Make(LtlKind::kOr, -1, std::move(a), std::move(b));
+}
+LtlPtr LtlFormula::Next(LtlPtr a) {
+  return LtlFactory::Make(LtlKind::kNext, -1, std::move(a), nullptr);
+}
+LtlPtr LtlFormula::Until(LtlPtr a, LtlPtr b) {
+  return LtlFactory::Make(LtlKind::kUntil, -1, std::move(a), std::move(b));
+}
+LtlPtr LtlFormula::Eventually(LtlPtr a) { return Until(True(), std::move(a)); }
+LtlPtr LtlFormula::Always(LtlPtr a) {
+  return Not(Eventually(Not(std::move(a))));
+}
+LtlPtr LtlFormula::Implies(LtlPtr a, LtlPtr b) {
+  return Or(Not(std::move(a)), std::move(b));
+}
+
+bool LtlFormula::EvalFinite(const std::vector<std::vector<bool>>& word,
+                            size_t position) const {
+  const size_t n = word.size();
+  HAS_CHECK_MSG(position <= n, "position beyond word");
+  if (position >= n) {
+    // Empty suffix: by convention only kTrue holds (local runs are never
+    // empty; this branch is defensive).
+    return kind_ == LtlKind::kTrue;
+  }
+  switch (kind_) {
+    case LtlKind::kTrue:
+      return true;
+    case LtlKind::kFalse:
+      return false;
+    case LtlKind::kProp:
+      return prop_ >= 0 && prop_ < static_cast<int>(word[position].size()) &&
+             word[position][prop_];
+    case LtlKind::kNot:
+      return !left_->EvalFinite(word, position);
+    case LtlKind::kAnd:
+      return left_->EvalFinite(word, position) &&
+             right_->EvalFinite(word, position);
+    case LtlKind::kOr:
+      return left_->EvalFinite(word, position) ||
+             right_->EvalFinite(word, position);
+    case LtlKind::kNext:
+      // Strong next: requires a next position.
+      return position + 1 < n && left_->EvalFinite(word, position + 1);
+    case LtlKind::kUntil:
+      for (size_t k = position; k < n; ++k) {
+        if (right_->EvalFinite(word, k)) return true;
+        if (!left_->EvalFinite(word, k)) return false;
+      }
+      return false;
+  }
+  return false;
+}
+
+bool LtlFormula::EvalLasso(const std::vector<std::vector<bool>>& prefix,
+                           const std::vector<std::vector<bool>>& loop) const {
+  HAS_CHECK_MSG(!loop.empty(), "lasso loop must be non-empty");
+  // Positions 0..|prefix|-1 then the loop repeating. Truth values of
+  // subformulas on an ultimately periodic word are themselves
+  // ultimately periodic with the same shape, so we evaluate by fixpoint
+  // on the unrolled word prefix+loop+loop (two unrollings suffice for
+  // U-fixpoints over one loop period with the standard two-pass trick);
+  // to stay simple and obviously correct we instead unroll the loop
+  // |formula| + 2 times and evaluate U with an explicit fixpoint over
+  // the periodic structure.
+  //
+  // Truth values of subformulas on an ultimately periodic word are
+  // themselves ultimately periodic with the same prefix/period shape,
+  // so it suffices to compute them at positions [0, |prefix|+|loop|)
+  // with position arithmetic wrapping into the loop region.
+  size_t plen = prefix.size();
+  size_t llen = loop.size();
+  auto letter = [&](size_t pos) -> const std::vector<bool>& {
+    if (pos < plen) return prefix[pos];
+    return loop[(pos - plen) % llen];
+  };
+  // Memoized evaluation over canonical positions: positions >= plen are
+  // canonicalized to plen + ((pos - plen) mod llen) once all positions
+  // beyond plen + llen behave identically... which only holds for
+  // formulas evaluated AT canonical positions. We compute truth values
+  // for all subformulas at positions [0, plen + llen) by fixpoint.
+  std::vector<const LtlFormula*> subs;
+  std::function<void(const LtlFormula*)> collect =
+      [&](const LtlFormula* f) {
+        subs.push_back(f);
+        if (f->left_) collect(f->left_.get());
+        if (f->right_) collect(f->right_.get());
+      };
+  collect(this);
+  const size_t positions = plen + llen;
+  auto canon = [&](size_t pos) -> size_t {
+    return pos < positions ? pos : plen + ((pos - plen) % llen);
+  };
+  // truth[i][p] for subformula index i at canonical position p.
+  std::vector<std::vector<bool>> truth(subs.size(),
+                                       std::vector<bool>(positions, false));
+  auto find_index = [&](const LtlFormula* f) -> size_t {
+    for (size_t i = 0; i < subs.size(); ++i) {
+      if (subs[i] == f) return i;
+    }
+    HAS_CHECK_MSG(false, "subformula not found");
+    return 0;
+  };
+  // Iterate to fixpoint (monotone only for U; we simply iterate until
+  // stable, bounded by subs*positions rounds).
+  bool changed = true;
+  int rounds = 0;
+  while (changed && rounds < static_cast<int>(subs.size() * positions) + 2) {
+    changed = false;
+    ++rounds;
+    for (size_t i = subs.size(); i-- > 0;) {  // children before parents
+      const LtlFormula* f = subs[i];
+      for (size_t p = 0; p < positions; ++p) {
+        bool v = false;
+        switch (f->kind_) {
+          case LtlKind::kTrue:
+            v = true;
+            break;
+          case LtlKind::kFalse:
+            v = false;
+            break;
+          case LtlKind::kProp:
+            v = f->prop_ >= 0 &&
+                f->prop_ < static_cast<int>(letter(p).size()) &&
+                letter(p)[f->prop_];
+            break;
+          case LtlKind::kNot:
+            v = !truth[find_index(f->left_.get())][p];
+            break;
+          case LtlKind::kAnd:
+            v = truth[find_index(f->left_.get())][p] &&
+                truth[find_index(f->right_.get())][p];
+            break;
+          case LtlKind::kOr:
+            v = truth[find_index(f->left_.get())][p] ||
+                truth[find_index(f->right_.get())][p];
+            break;
+          case LtlKind::kNext:
+            v = truth[find_index(f->left_.get())][canon(p + 1)];
+            break;
+          case LtlKind::kUntil: {
+            // ψ1 U ψ2 at p: scan forward up to one full period past the
+            // loop — beyond that the pattern repeats.
+            size_t li = find_index(f->left_.get());
+            size_t ri = find_index(f->right_.get());
+            v = false;
+            bool blocked = false;
+            for (size_t k = p; k < p + positions + llen && !blocked; ++k) {
+              size_t cp = canon(k);
+              if (truth[ri][cp]) {
+                v = true;
+                break;
+              }
+              if (!truth[li][cp]) blocked = true;
+            }
+            break;
+          }
+        }
+        if (truth[i][p] != v) {
+          truth[i][p] = v;
+          changed = true;
+        }
+      }
+    }
+  }
+  return truth[0][0];
+}
+
+int LtlFormula::MaxProp() const {
+  int best = kind_ == LtlKind::kProp ? prop_ : -1;
+  if (left_) best = std::max(best, left_->MaxProp());
+  if (right_) best = std::max(best, right_->MaxProp());
+  return best;
+}
+
+std::string LtlFormula::ToString(
+    const std::function<std::string(int)>& prop_name) const {
+  auto name = [&](int p) {
+    return prop_name ? prop_name(p) : StrCat("p", p);
+  };
+  switch (kind_) {
+    case LtlKind::kTrue:
+      return "true";
+    case LtlKind::kFalse:
+      return "false";
+    case LtlKind::kProp:
+      return name(prop_);
+    case LtlKind::kNot:
+      return StrCat("!", left_->ToString(prop_name));
+    case LtlKind::kAnd:
+      return StrCat("(", left_->ToString(prop_name), " && ",
+                    right_->ToString(prop_name), ")");
+    case LtlKind::kOr:
+      return StrCat("(", left_->ToString(prop_name), " || ",
+                    right_->ToString(prop_name), ")");
+    case LtlKind::kNext:
+      return StrCat("X", left_->ToString(prop_name));
+    case LtlKind::kUntil:
+      return StrCat("(", left_->ToString(prop_name), " U ",
+                    right_->ToString(prop_name), ")");
+  }
+  return "?";
+}
+
+}  // namespace has

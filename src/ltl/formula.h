@@ -1,0 +1,88 @@
+// Propositional LTL (reviewed in Appendix B.2). Formulas are immutable
+// trees over integer proposition ids; F and G are derived from U.
+// The semantics used on finite words is the strong-next variant of
+// [De Giacomo & Vardi 2013], matching the paper's treatment of finite
+// local runs.
+#ifndef HAS_LTL_FORMULA_H_
+#define HAS_LTL_FORMULA_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace has {
+
+enum class LtlKind : uint8_t {
+  kTrue,
+  kFalse,
+  kProp,
+  kNot,
+  kAnd,
+  kOr,
+  kNext,
+  kUntil,
+};
+
+class LtlFormula;
+using LtlPtr = std::shared_ptr<const LtlFormula>;
+
+class LtlFormula {
+ public:
+  static LtlPtr True();
+  static LtlPtr False();
+  static LtlPtr Prop(int id);
+  static LtlPtr Not(LtlPtr a);
+  static LtlPtr And(LtlPtr a, LtlPtr b);
+  static LtlPtr Or(LtlPtr a, LtlPtr b);
+  static LtlPtr Next(LtlPtr a);
+  static LtlPtr Until(LtlPtr a, LtlPtr b);
+  /// F a = true U a.
+  static LtlPtr Eventually(LtlPtr a);
+  /// G a = ¬F¬a.
+  static LtlPtr Always(LtlPtr a);
+  /// a -> b = ¬a ∨ b.
+  static LtlPtr Implies(LtlPtr a, LtlPtr b);
+
+  LtlKind kind() const { return kind_; }
+  int prop() const { return prop_; }
+  const LtlPtr& left() const { return left_; }
+  const LtlPtr& right() const { return right_; }
+
+  /// Evaluates the formula on an explicit finite word of proposition
+  /// assignments (word[i][p] = truth of p at position i), using the
+  /// finite-word semantics if `finite`, else treating the word as the
+  /// prefix of an infinite word is NOT possible — infinite evaluation is
+  /// done by the Büchi automaton; this helper is for finite runs and for
+  /// tests.
+  bool EvalFinite(const std::vector<std::vector<bool>>& word,
+                  size_t position = 0) const;
+
+  /// Evaluates on an ultimately-periodic infinite word
+  /// prefix · loop^ω (loop must be non-empty). Used by tests to
+  /// cross-check the Büchi construction.
+  bool EvalLasso(const std::vector<std::vector<bool>>& prefix,
+                 const std::vector<std::vector<bool>>& loop) const;
+
+  /// Maximum proposition id used, or -1.
+  int MaxProp() const;
+
+  std::string ToString(
+      const std::function<std::string(int)>& prop_name = nullptr) const;
+
+ private:
+  friend struct LtlFactory;
+
+  LtlFormula() = default;
+
+  LtlKind kind_ = LtlKind::kTrue;
+  int prop_ = -1;
+  LtlPtr left_, right_;
+};
+
+/// Internal factory (defined in formula.cc).
+struct LtlFactory;
+
+}  // namespace has
+
+#endif  // HAS_LTL_FORMULA_H_

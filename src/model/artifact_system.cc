@@ -1,0 +1,130 @@
+#include "model/artifact_system.h"
+
+#include <functional>
+
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace has {
+
+TaskId ArtifactSystem::AddTask(std::string name, TaskId parent) {
+  TaskId id = static_cast<TaskId>(tasks_.size());
+  if (id == 0) {
+    HAS_CHECK_MSG(parent == kNoTask, "first task must be the root");
+  } else {
+    HAS_CHECK_MSG(parent >= 0 && parent < id, "parent must precede child");
+  }
+  tasks_.emplace_back(std::move(name), id, parent);
+  if (parent != kNoTask) tasks_[parent].AddChild(id);
+  return id;
+}
+
+TaskId ArtifactSystem::FindTask(const std::string& name) const {
+  for (const Task& t : tasks_) {
+    if (t.name() == name) return t.id();
+  }
+  return kNoTask;
+}
+
+int ArtifactSystem::Depth() const {
+  std::function<int(TaskId)> depth = [&](TaskId t) {
+    int best = 1;
+    for (TaskId c : tasks_[t].children()) best = std::max(best, 1 + depth(c));
+    return best;
+  };
+  return tasks_.empty() ? 0 : depth(root());
+}
+
+std::vector<TaskId> ArtifactSystem::PreOrder() const {
+  std::vector<TaskId> out;
+  std::function<void(TaskId)> visit = [&](TaskId t) {
+    out.push_back(t);
+    for (TaskId c : tasks_[t].children()) visit(c);
+  };
+  if (!tasks_.empty()) visit(root());
+  return out;
+}
+
+std::vector<TaskId> ArtifactSystem::PostOrder() const {
+  std::vector<TaskId> out;
+  std::function<void(TaskId)> visit = [&](TaskId t) {
+    for (TaskId c : tasks_[t].children()) visit(c);
+    out.push_back(t);
+  };
+  if (!tasks_.empty()) visit(root());
+  return out;
+}
+
+std::vector<ServiceRef> ArtifactSystem::ObservableServices(TaskId t) const {
+  std::vector<ServiceRef> out;
+  const Task& task = tasks_[t];
+  for (size_t i = 0; i < task.services().size(); ++i) {
+    out.push_back(ServiceRef::Internal(t, static_cast<int>(i)));
+  }
+  out.push_back(ServiceRef::Opening(t));
+  out.push_back(ServiceRef::Closing(t));
+  for (TaskId c : task.children()) {
+    out.push_back(ServiceRef::Opening(c));
+    out.push_back(ServiceRef::Closing(c));
+  }
+  return out;
+}
+
+std::string ArtifactSystem::ServiceName(const ServiceRef& s) const {
+  const Task& t = tasks_[s.task];
+  switch (s.kind) {
+    case ServiceRef::Kind::kInternal:
+      return StrCat(t.name(), ".", t.service(s.index).name);
+    case ServiceRef::Kind::kOpening:
+      return StrCat("open(", t.name(), ")");
+    case ServiceRef::Kind::kClosing:
+      return StrCat("close(", t.name(), ")");
+  }
+  return "?";
+}
+
+int ArtifactSystem::SizeMeasure() const {
+  int n = 0;
+  for (const Task& t : tasks_) {
+    n += t.vars().size();
+    n += static_cast<int>(t.services().size());
+    std::vector<const Condition*> atoms;
+    for (const InternalService& s : t.services()) {
+      s.pre->CollectAtoms(&atoms);
+      s.post->CollectAtoms(&atoms);
+    }
+    t.opening_pre()->CollectAtoms(&atoms);
+    t.closing_pre()->CollectAtoms(&atoms);
+    n += static_cast<int>(atoms.size());
+  }
+  n += schema_.num_relations();
+  return n;
+}
+
+std::string ArtifactSystem::ToString() const {
+  std::string out = schema_.ToString();
+  for (const Task& t : tasks_) {
+    out += StrCat("task ", t.name(), t.is_root() ? " (root)" : "", "\n");
+    std::vector<std::string> vars;
+    for (int v = 0; v < t.vars().size(); ++v) {
+      vars.push_back(StrCat(t.vars().var(v).name,
+                            t.vars().var(v).sort == VarSort::kId ? ":id"
+                                                                 : ":num"));
+    }
+    out += StrCat("  vars: ", StrJoin(vars, ", "), "\n");
+    if (t.has_set()) {
+      std::vector<std::string> sv;
+      for (int v : t.set_vars()) sv.push_back(t.vars().var(v).name);
+      out += StrCat("  set S(", StrJoin(sv, ", "), ")\n");
+    }
+    for (const InternalService& s : t.services()) {
+      out += StrCat("  service ", s.name, ": pre ",
+                    s.pre->ToString(t.vars(), &schema_), " post ",
+                    s.post->ToString(t.vars(), &schema_),
+                    s.inserts ? " +S" : "", s.retrieves ? " -S" : "", "\n");
+    }
+  }
+  return out;
+}
+
+}  // namespace has

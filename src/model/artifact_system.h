@@ -1,0 +1,66 @@
+// Hierarchical Artifact Systems Γ = (A, Σ, Π) (Definition 7): a
+// database schema, a rooted tree of tasks, their services, and a global
+// pre-condition Π over the root's input variables.
+#ifndef HAS_MODEL_ARTIFACT_SYSTEM_H_
+#define HAS_MODEL_ARTIFACT_SYSTEM_H_
+
+#include <string>
+#include <vector>
+
+#include "model/service.h"
+#include "model/task.h"
+#include "schema/fk_graph.h"
+#include "schema/schema.h"
+
+namespace has {
+
+class ArtifactSystem {
+ public:
+  ArtifactSystem() : global_pre_(Condition::True()) {}
+
+  DatabaseSchema& schema() { return schema_; }
+  const DatabaseSchema& schema() const { return schema_; }
+
+  /// Creates a task; the first task created becomes the root and must
+  /// pass parent = kNoTask.
+  TaskId AddTask(std::string name, TaskId parent);
+
+  Task& task(TaskId t) { return tasks_[t]; }
+  const Task& task(TaskId t) const { return tasks_[t]; }
+  int num_tasks() const { return static_cast<int>(tasks_.size()); }
+  TaskId root() const { return 0; }
+
+  TaskId FindTask(const std::string& name) const;
+
+  /// Global pre-condition Π over the root's input variables.
+  void SetGlobalPre(CondPtr pre) { global_pre_ = std::move(pre); }
+  const CondPtr& global_pre() const { return global_pre_; }
+
+  /// Depth of the hierarchy (root alone = 1).
+  int Depth() const;
+  /// Tasks in pre-order (parents before children).
+  std::vector<TaskId> PreOrder() const;
+  /// Tasks in post-order (children before parents).
+  std::vector<TaskId> PostOrder() const;
+
+  /// Observable services Σ^obs_T of a task.
+  std::vector<ServiceRef> ObservableServices(TaskId t) const;
+
+  /// Human-readable name of a service.
+  std::string ServiceName(const ServiceRef& s) const;
+
+  /// Size proxy N for the complexity tables: total variables, services,
+  /// condition atoms across tasks.
+  int SizeMeasure() const;
+
+  std::string ToString() const;
+
+ private:
+  DatabaseSchema schema_;
+  std::vector<Task> tasks_;
+  CondPtr global_pre_;
+};
+
+}  // namespace has
+
+#endif  // HAS_MODEL_ARTIFACT_SYSTEM_H_

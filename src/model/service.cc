@@ -1,0 +1,7 @@
+#include "model/service.h"
+
+namespace has {
+
+// ServiceRef is header-only; this translation unit anchors the target.
+
+}  // namespace has

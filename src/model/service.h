@@ -1,0 +1,57 @@
+// Global service references. A run of a task observes services in
+// Σ^obs_T: its own internal services, its opening/closing service, and
+// the opening/closing services of its children (Section 2). HLTL-FO
+// formulas use these as propositions.
+#ifndef HAS_MODEL_SERVICE_H_
+#define HAS_MODEL_SERVICE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/hashing.h"
+#include "model/task.h"
+
+namespace has {
+
+struct ServiceRef {
+  enum class Kind : uint8_t { kInternal, kOpening, kClosing };
+
+  Kind kind = Kind::kInternal;
+  TaskId task = kNoTask;  ///< owning task (for open/close: the opened task)
+  int index = -1;         ///< internal service index (kInternal only)
+
+  static ServiceRef Internal(TaskId t, int i) {
+    return ServiceRef{Kind::kInternal, t, i};
+  }
+  static ServiceRef Opening(TaskId t) {
+    return ServiceRef{Kind::kOpening, t, -1};
+  }
+  static ServiceRef Closing(TaskId t) {
+    return ServiceRef{Kind::kClosing, t, -1};
+  }
+
+  bool operator==(const ServiceRef& o) const {
+    return kind == o.kind && task == o.task && index == o.index;
+  }
+  bool operator!=(const ServiceRef& o) const { return !(*this == o); }
+  bool operator<(const ServiceRef& o) const {
+    if (kind != o.kind) return kind < o.kind;
+    if (task != o.task) return task < o.task;
+    return index < o.index;
+  }
+
+  size_t Hash() const {
+    size_t seed = static_cast<size_t>(kind);
+    HashMix(&seed, task);
+    HashMix(&seed, index);
+    return seed;
+  }
+};
+
+struct ServiceRefHash {
+  size_t operator()(const ServiceRef& s) const { return s.Hash(); }
+};
+
+}  // namespace has
+
+#endif  // HAS_MODEL_SERVICE_H_

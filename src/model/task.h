@@ -1,0 +1,118 @@
+// Task schemas (Definitions 2-3). A task owns a scope of artifact
+// variables, an optional artifact relation S_T over a tuple s̄_T of
+// distinct ID variables, declared input variables x̄_in, its services,
+// and the opening/closing machinery connecting it to its parent.
+#ifndef HAS_MODEL_TASK_H_
+#define HAS_MODEL_TASK_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "expr/condition.h"
+
+namespace has {
+
+using TaskId = int;
+inline constexpr TaskId kNoTask = -1;
+
+/// An internal service σ = (π, ψ, δ) of a task (Definition 5). The
+/// pre-condition is evaluated on the current artifact tuple, the
+/// post-condition on the next one; δ inserts and/or retrieves the s̄_T
+/// tuple from the artifact relation.
+struct InternalService {
+  std::string name;
+  CondPtr pre;
+  CondPtr post;
+  bool inserts = false;   ///< +S_T(s̄_T) ∈ δ
+  bool retrieves = false; ///< -S_T(s̄_T) ∈ δ
+};
+
+/// A task schema plus its interaction contract with the parent.
+class Task {
+ public:
+  Task(std::string name, TaskId id, TaskId parent)
+      : name_(std::move(name)),
+        id_(id),
+        parent_(parent),
+        opening_pre_(Condition::True()),
+        closing_pre_(Condition::False()) {}
+
+  const std::string& name() const { return name_; }
+  TaskId id() const { return id_; }
+  TaskId parent() const { return parent_; }
+  bool is_root() const { return parent_ == kNoTask; }
+
+  const std::vector<TaskId>& children() const { return children_; }
+  void AddChild(TaskId child) { children_.push_back(child); }
+
+  VarScope& vars() { return vars_; }
+  const VarScope& vars() const { return vars_; }
+
+  // --- artifact relation -------------------------------------------------
+  /// Declares the artifact relation with tuple s̄_T (distinct ID vars).
+  void DeclareSet(std::vector<int> set_vars) {
+    has_set_ = true;
+    set_vars_ = std::move(set_vars);
+  }
+  bool has_set() const { return has_set_; }
+  const std::vector<int>& set_vars() const { return set_vars_; }
+
+  // --- input / return wiring ---------------------------------------------
+  /// f_in pairs (child_var, parent_var); dom(f_in) = x̄_in of this task.
+  /// For the root, parent_var is ignored and the pairs just declare the
+  /// input variables receiving the initial external valuation.
+  void AddInput(int own_var, int parent_var) {
+    fin_.emplace_back(own_var, parent_var);
+  }
+  const std::vector<std::pair<int, int>>& fin() const { return fin_; }
+  /// The input variables x̄_in (dom f_in), in declaration order.
+  std::vector<int> InputVars() const;
+
+  /// f_out pairs (parent_var, own_var): when this task closes, parent
+  /// variable `parent_var` receives the value of this task's `own_var`.
+  void AddOutput(int parent_var, int own_var) {
+    fout_.emplace_back(parent_var, own_var);
+  }
+  const std::vector<std::pair<int, int>>& fout() const { return fout_; }
+  /// The to-be-returned variables x̄_ret (range f_out) in this task.
+  std::vector<int> ReturnVars() const;
+  /// The parent's variables written on return (x̄^T_{Tc↑}).
+  std::vector<int> ParentReturnTargets() const;
+
+  // --- services ------------------------------------------------------------
+  int AddInternalService(InternalService service) {
+    services_.push_back(std::move(service));
+    return static_cast<int>(services_.size() - 1);
+  }
+  const std::vector<InternalService>& services() const { return services_; }
+  const InternalService& service(int i) const { return services_[i]; }
+
+  /// Opening pre-condition π of σ^o_T, a condition over the PARENT's
+  /// variable scope (Definition 6(i)). True for the root.
+  void SetOpeningPre(CondPtr pre) { opening_pre_ = std::move(pre); }
+  const CondPtr& opening_pre() const { return opening_pre_; }
+
+  /// Closing pre-condition π of σ^c_T, over this task's scope
+  /// (Definition 6(ii)). False for the root (the root never returns).
+  void SetClosingPre(CondPtr pre) { closing_pre_ = std::move(pre); }
+  const CondPtr& closing_pre() const { return closing_pre_; }
+
+ private:
+  std::string name_;
+  TaskId id_;
+  TaskId parent_;
+  std::vector<TaskId> children_;
+  VarScope vars_;
+  bool has_set_ = false;
+  std::vector<int> set_vars_;
+  std::vector<std::pair<int, int>> fin_;
+  std::vector<std::pair<int, int>> fout_;
+  std::vector<InternalService> services_;
+  CondPtr opening_pre_;
+  CondPtr closing_pre_;
+};
+
+}  // namespace has
+
+#endif  // HAS_MODEL_TASK_H_

@@ -1,0 +1,185 @@
+#include "model/validate.h"
+
+#include <set>
+
+#include "common/strings.h"
+
+namespace has {
+
+namespace {
+
+void CheckTask(const ArtifactSystem& system, const Task& t,
+               std::vector<std::string>* errors) {
+  auto error = [&](const std::string& msg) {
+    errors->push_back(StrCat("task ", t.name(), ": ", msg));
+  };
+  const DatabaseSchema& schema = system.schema();
+
+  // Artifact relation: distinct ID variables (Definition 2 requires the
+  // set tuple s̄_T to consist of distinct ID variables of the task).
+  if (t.has_set()) {
+    std::set<int> seen;
+    for (int v : t.set_vars()) {
+      if (v < 0 || v >= t.vars().size()) {
+        error(StrCat("set variable index ", v, " out of scope"));
+        continue;
+      }
+      if (!seen.insert(v).second) {
+        error(StrCat("duplicate set variable ", t.vars().var(v).name));
+      }
+      if (t.vars().var(v).sort != VarSort::kId) {
+        error(StrCat("set variable ", t.vars().var(v).name,
+                     " must be an ID variable"));
+      }
+    }
+    if (t.set_vars().empty()) error("artifact relation of arity 0");
+  }
+
+  // Internal services: conditions over the task's scope; set updates
+  // require a declared artifact relation (restrictions 5/7 hold by
+  // construction: one relation, fixed tuple).
+  for (const InternalService& s : t.services()) {
+    Status pre = s.pre->CheckWellFormed(t.vars(), schema);
+    if (!pre.ok()) error(StrCat("service ", s.name, " pre: ", pre.message()));
+    Status post = s.post->CheckWellFormed(t.vars(), schema);
+    if (!post.ok()) {
+      error(StrCat("service ", s.name, " post: ", post.message()));
+    }
+    if ((s.inserts || s.retrieves) && !t.has_set()) {
+      error(StrCat("service ", s.name,
+                   " updates an artifact relation the task does not have"));
+    }
+  }
+
+  // Input mapping f_in: partial 1-1, sort-preserving.
+  {
+    std::set<int> own, parent_vars;
+    for (const auto& [own_var, parent_var] : t.fin()) {
+      if (own_var < 0 || own_var >= t.vars().size()) {
+        error(StrCat("input variable index ", own_var, " out of scope"));
+        continue;
+      }
+      if (!own.insert(own_var).second) {
+        error(StrCat("variable ", t.vars().var(own_var).name,
+                     " is an input target twice (f_in must be 1-1)"));
+      }
+      if (!t.is_root()) {
+        const Task& p = system.task(t.parent());
+        if (parent_var < 0 || parent_var >= p.vars().size()) {
+          error(StrCat("input source index ", parent_var,
+                       " out of parent scope"));
+          continue;
+        }
+        if (!parent_vars.insert(parent_var).second) {
+          error(StrCat("parent variable ", p.vars().var(parent_var).name,
+                       " passed twice (f_in must be 1-1)"));
+        }
+        if (p.vars().var(parent_var).sort != t.vars().var(own_var).sort) {
+          error(StrCat("input ", t.vars().var(own_var).name,
+                       " has a different sort than its source"));
+        }
+      }
+    }
+  }
+
+  // Output mapping f_out: partial 1-1, sort-preserving, and the parent
+  // return targets must be disjoint from the task's input sources --
+  // restriction 3 / Definition 6(ii): x̄^T_{Tc↑} ∩ x̄^T_in = ∅, where
+  // x̄^T_in are the parent's own input variables.
+  if (!t.is_root()) {
+    const Task& p = system.task(t.parent());
+    std::set<int> targets, own;
+    std::set<int> parent_inputs;
+    for (const auto& [pv_own, pv_parent] : p.fin()) {
+      (void)pv_parent;
+      parent_inputs.insert(pv_own);
+    }
+    for (const auto& [parent_var, own_var] : t.fout()) {
+      if (parent_var < 0 || parent_var >= p.vars().size()) {
+        error(StrCat("return target index ", parent_var,
+                     " out of parent scope"));
+        continue;
+      }
+      if (own_var < 0 || own_var >= t.vars().size()) {
+        error(StrCat("return source index ", own_var, " out of scope"));
+        continue;
+      }
+      if (!targets.insert(parent_var).second) {
+        error(StrCat("parent variable ", p.vars().var(parent_var).name,
+                     " is a return target twice (f_out must be 1-1)"));
+      }
+      if (!own.insert(own_var).second) {
+        error(StrCat("variable ", t.vars().var(own_var).name,
+                     " returned twice (f_out must be 1-1)"));
+      }
+      if (p.vars().var(parent_var).sort != t.vars().var(own_var).sort) {
+        error(StrCat("return ", t.vars().var(own_var).name,
+                     " has a different sort than its target"));
+      }
+      if (parent_inputs.count(parent_var) > 0) {
+        error(StrCat("parent variable ", p.vars().var(parent_var).name,
+                     " is both an input of the parent and a return target "
+                     "(violates restriction 3)"));
+      }
+    }
+    // Opening pre-condition lives in the parent's scope.
+    Status open = t.opening_pre()->CheckWellFormed(p.vars(), schema);
+    if (!open.ok()) error(StrCat("opening pre: ", open.message()));
+  } else {
+    if (!t.fout().empty()) error("root task cannot return variables");
+    if (t.closing_pre()->kind() != CondKind::kFalse) {
+      error("root task must have closing pre-condition false");
+    }
+  }
+
+  Status close = t.closing_pre()->CheckWellFormed(t.vars(), schema);
+  if (!close.ok()) error(StrCat("closing pre: ", close.message()));
+}
+
+}  // namespace
+
+std::vector<std::string> ValidateSystemAll(const ArtifactSystem& system) {
+  std::vector<std::string> errors;
+  Status schema = system.schema().Validate();
+  if (!schema.ok()) errors.push_back(schema.message());
+  if (system.num_tasks() == 0) {
+    errors.push_back("artifact system has no tasks");
+    return errors;
+  }
+  for (TaskId t = 0; t < system.num_tasks(); ++t) {
+    CheckTask(system, system.task(t), &errors);
+  }
+  // Global pre-condition Π over the root's variables (the paper scopes
+  // it to the root's input variables; we check the variables mentioned
+  // are indeed inputs).
+  const Task& root = system.task(system.root());
+  Status pre = system.global_pre()->CheckWellFormed(root.vars(),
+                                                    system.schema());
+  if (!pre.ok()) {
+    errors.push_back(StrCat("global pre-condition: ", pre.message()));
+  } else {
+    std::set<int> inputs;
+    for (const auto& [own, parent] : root.fin()) {
+      (void)parent;
+      inputs.insert(own);
+    }
+    std::vector<int> vars;
+    system.global_pre()->CollectVars(&vars);
+    for (int v : vars) {
+      if (inputs.count(v) == 0) {
+        errors.push_back(
+            StrCat("global pre-condition mentions non-input variable ",
+                   root.vars().var(v).name));
+      }
+    }
+  }
+  return errors;
+}
+
+Status ValidateSystem(const ArtifactSystem& system) {
+  std::vector<std::string> errors = ValidateSystemAll(system);
+  if (errors.empty()) return Status::Ok();
+  return Status::InvalidArgument(errors.front());
+}
+
+}  // namespace has

@@ -1,0 +1,28 @@
+// Static validation of artifact systems. Checks the syntactic
+// well-formedness of Definitions 2-7 and the statically-checkable part
+// of the eight decidability restrictions of Section 6. The remaining
+// restrictions (1: only input parameters propagate across internal
+// transitions; 4: internal transitions require all subtasks returned;
+// 6: artifact relations reset on close; 8: each subtask called at most
+// once per segment) are enforced operationally by the run semantics and
+// by the symbolic successor relation — the validator documents them and
+// they are exercised by tests/restrictions_test.cc.
+#ifndef HAS_MODEL_VALIDATE_H_
+#define HAS_MODEL_VALIDATE_H_
+
+#include <string>
+#include <vector>
+
+#include "model/artifact_system.h"
+
+namespace has {
+
+/// Validates the whole system; returns the first violation found.
+Status ValidateSystem(const ArtifactSystem& system);
+
+/// Collects every violation (for linter-style reporting).
+std::vector<std::string> ValidateSystemAll(const ArtifactSystem& system);
+
+}  // namespace has
+
+#endif  // HAS_MODEL_VALIDATE_H_

@@ -1,0 +1,63 @@
+#include "runs/bounded_checker.h"
+
+#include "common/status.h"
+
+namespace has {
+
+bool EvalHltlOnRun(const ArtifactSystem& system, const DatabaseInstance& db,
+                   const HltlProperty& property, const RunTree& tree,
+                   int node, int run_index) {
+  const HltlNode& n = property.node(node);
+  const LocalRun& run = tree.runs[run_index];
+  HAS_CHECK_MSG(n.task == run.task, "node/run task mismatch");
+  // Build the word of proposition assignments.
+  std::vector<std::vector<bool>> word;
+  word.reserve(run.steps.size());
+  for (size_t s = 0; s < run.steps.size(); ++s) {
+    const RunStep& step = run.steps[s];
+    std::vector<bool> letter(n.props.size(), false);
+    for (size_t p = 0; p < n.props.size(); ++p) {
+      const HltlProp& prop = n.props[p];
+      switch (prop.kind) {
+        case HltlProp::Kind::kCondition:
+          letter[p] = EvalCondition(*prop.condition, db, step.nu);
+          break;
+        case HltlProp::Kind::kService:
+          letter[p] = prop.service == step.service;
+          break;
+        case HltlProp::Kind::kChildFormula: {
+          TaskId child_task = property.node(prop.child_node).task;
+          if (step.service == ServiceRef::Opening(child_task) &&
+              step.child_run >= 0) {
+            letter[p] = EvalHltlOnRun(system, db, property, tree,
+                                      prop.child_node, step.child_run);
+          }
+          break;
+        }
+      }
+    }
+    word.push_back(std::move(letter));
+  }
+  return n.skeleton->EvalFinite(word);
+}
+
+bool EvalHltlOnTree(const ArtifactSystem& system, const DatabaseInstance& db,
+                    const HltlProperty& property, const RunTree& tree) {
+  return EvalHltlOnRun(system, db, property, tree, property.root_node(), 0);
+}
+
+std::optional<RunTree> FindTreeSatisfying(const ArtifactSystem& system,
+                                          const DatabaseInstance& db,
+                                          const HltlProperty& property,
+                                          int attempts,
+                                          SimulatorOptions options) {
+  for (int i = 0; i < attempts; ++i) {
+    options.seed = options.seed * 6364136223846793005ULL + 1442695040888963407ULL;
+    std::optional<RunTree> tree = SimulateTree(system, db, options);
+    if (!tree.has_value()) continue;
+    if (EvalHltlOnTree(system, db, property, *tree)) return tree;
+  }
+  return std::nullopt;
+}
+
+}  // namespace has

@@ -1,0 +1,38 @@
+// Explicit HLTL-FO evaluation on concrete trees of local runs, and a
+// randomized bounded search for a concrete witness of a property. Used
+// to cross-validate the symbolic verifier: when it reports VIOLATED on
+// a safety-shaped property, the bounded search should be able to
+// produce a concrete violating tree on some small database; when it
+// reports HOLDS, no simulated tree may satisfy the negated property.
+//
+// Finite (budget-cut) local runs are evaluated with the finite-word
+// LTL semantics — exact for returning/blocking runs, a test-harness
+// approximation for runs cut by the step budget.
+#ifndef HAS_RUNS_BOUNDED_CHECKER_H_
+#define HAS_RUNS_BOUNDED_CHECKER_H_
+
+#include "hltl/hltl.h"
+#include "runs/simulator.h"
+
+namespace has {
+
+/// Evaluates property node `node` on local run `run_index` of the tree.
+bool EvalHltlOnRun(const ArtifactSystem& system, const DatabaseInstance& db,
+                   const HltlProperty& property, const RunTree& tree,
+                   int node, int run_index);
+
+/// Whether the tree satisfies the property ([node 0]_root).
+bool EvalHltlOnTree(const ArtifactSystem& system, const DatabaseInstance& db,
+                    const HltlProperty& property, const RunTree& tree);
+
+/// Randomized search: simulates up to `attempts` trees (varying seeds)
+/// and returns one satisfying the property, if found.
+std::optional<RunTree> FindTreeSatisfying(const ArtifactSystem& system,
+                                          const DatabaseInstance& db,
+                                          const HltlProperty& property,
+                                          int attempts,
+                                          SimulatorOptions options = {});
+
+}  // namespace has
+
+#endif  // HAS_RUNS_BOUNDED_CHECKER_H_

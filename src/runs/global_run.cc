@@ -1,0 +1,128 @@
+#include "runs/global_run.h"
+
+#include <map>
+
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace has {
+
+namespace {
+
+/// Dependencies: event e must come after deps[e] events. We build the
+/// partial order of Appendix B.1 as explicit edges.
+struct EventGraph {
+  std::vector<GlobalEvent> events;
+  std::map<std::pair<int, int>, int> index;
+  std::vector<std::vector<int>> preds;
+
+  int IdOf(int run, int step) const { return index.at({run, step}); }
+};
+
+EventGraph BuildGraph(const RunTree& tree) {
+  EventGraph g;
+  for (size_t r = 0; r < tree.runs.size(); ++r) {
+    for (size_t s = 0; s < tree.runs[r].steps.size(); ++s) {
+      g.index[{static_cast<int>(r), static_cast<int>(s)}] =
+          static_cast<int>(g.events.size());
+      g.events.push_back(GlobalEvent{static_cast<int>(r),
+                                     static_cast<int>(s)});
+    }
+  }
+  g.preds.resize(g.events.size());
+  for (size_t r = 0; r < tree.runs.size(); ++r) {
+    const LocalRun& run = tree.runs[r];
+    for (size_t s = 1; s < run.steps.size(); ++s) {
+      // Local order.
+      g.preds[g.IdOf(static_cast<int>(r), static_cast<int>(s))].push_back(
+          g.IdOf(static_cast<int>(r), static_cast<int>(s) - 1));
+    }
+    for (size_t s = 0; s < run.steps.size(); ++s) {
+      const RunStep& step = run.steps[s];
+      if (step.service.kind == ServiceRef::Kind::kOpening &&
+          step.child_run >= 0) {
+        // The child's first event coincides with (follows) the opening;
+        // the parent's matching closing follows the child's last event.
+        int child = step.child_run;
+        g.preds[g.IdOf(child, 0)].push_back(
+            g.IdOf(static_cast<int>(r), static_cast<int>(s)));
+        const LocalRun& child_run = tree.runs[child];
+        if (child_run.returning) {
+          // Find the parent's closing step for this child after s.
+          for (size_t s2 = s + 1; s2 < run.steps.size(); ++s2) {
+            if (run.steps[s2].service ==
+                ServiceRef::Closing(child_run.task)) {
+              g.preds[g.IdOf(static_cast<int>(r), static_cast<int>(s2))]
+                  .push_back(g.IdOf(
+                      child, static_cast<int>(child_run.steps.size()) - 1));
+              break;
+            }
+          }
+        }
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace
+
+std::vector<GlobalEvent> RandomLinearization(const RunTree& tree,
+                                             uint64_t seed) {
+  EventGraph g = BuildGraph(tree);
+  std::vector<int> missing(g.events.size(), 0);
+  std::vector<std::vector<int>> succs(g.events.size());
+  for (size_t e = 0; e < g.events.size(); ++e) {
+    missing[e] = static_cast<int>(g.preds[e].size());
+    for (int p : g.preds[e]) succs[p].push_back(static_cast<int>(e));
+  }
+  std::vector<int> ready;
+  for (size_t e = 0; e < g.events.size(); ++e) {
+    if (missing[e] == 0) ready.push_back(static_cast<int>(e));
+  }
+  std::mt19937_64 rng(seed);
+  std::vector<GlobalEvent> out;
+  while (!ready.empty()) {
+    std::uniform_int_distribution<size_t> d(0, ready.size() - 1);
+    size_t i = d(rng);
+    int e = ready[i];
+    ready[i] = ready.back();
+    ready.pop_back();
+    out.push_back(g.events[e]);
+    for (int s : succs[e]) {
+      if (--missing[s] == 0) ready.push_back(s);
+    }
+  }
+  return out;
+}
+
+Status CheckLinearization(const RunTree& tree,
+                          const std::vector<GlobalEvent>& events) {
+  EventGraph g = BuildGraph(tree);
+  if (events.size() != g.events.size()) {
+    return Status::FailedPrecondition(
+        StrCat("linearization has ", events.size(), " events, tree has ",
+               g.events.size()));
+  }
+  std::vector<int> position(g.events.size(), -1);
+  for (size_t i = 0; i < events.size(); ++i) {
+    auto it = g.index.find({events[i].run, events[i].step});
+    if (it == g.index.end()) {
+      return Status::FailedPrecondition("unknown event");
+    }
+    if (position[it->second] != -1) {
+      return Status::FailedPrecondition("duplicate event");
+    }
+    position[it->second] = static_cast<int>(i);
+  }
+  for (size_t e = 0; e < g.events.size(); ++e) {
+    for (int p : g.preds[e]) {
+      if (position[p] > position[e]) {
+        return Status::FailedPrecondition("order violation");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace has

@@ -1,0 +1,34 @@
+// Global runs (Appendix B.1): legal interleavings of a tree of local
+// runs. A linearization enumerates tree events respecting the local
+// order of each run and the synchronization of opening/closing steps
+// with the child run's first/last configurations. Used to validate the
+// interleaving-invariance story of HLTL-FO (Section 3) in tests.
+#ifndef HAS_RUNS_GLOBAL_RUN_H_
+#define HAS_RUNS_GLOBAL_RUN_H_
+
+#include <random>
+
+#include "runs/run_tree.h"
+
+namespace has {
+
+/// One event of a global run: step `step` of local run `run`.
+struct GlobalEvent {
+  int run = -1;
+  int step = -1;
+};
+
+/// A random legal linearization of the tree's events (uniform over the
+/// antichain choices). Every opening event is immediately preceded by
+/// nothing from the child and the child's events fall between the
+/// parent's opening and closing events.
+std::vector<GlobalEvent> RandomLinearization(const RunTree& tree,
+                                             uint64_t seed);
+
+/// Checks that a sequence of events is a legal linearization.
+Status CheckLinearization(const RunTree& tree,
+                          const std::vector<GlobalEvent>& events);
+
+}  // namespace has
+
+#endif  // HAS_RUNS_GLOBAL_RUN_H_

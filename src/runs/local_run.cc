@@ -1,0 +1,73 @@
+#include "runs/local_run.h"
+
+#include "common/strings.h"
+
+namespace has {
+
+Valuation OpeningValuation(const Task& task, const Valuation& input) {
+  Valuation nu(task.vars().size());
+  for (int v = 0; v < task.vars().size(); ++v) {
+    nu[v] = task.vars().var(v).sort == VarSort::kId ? Value::Null()
+                                                    : Value::Real(0);
+  }
+  for (const auto& [own, parent] : task.fin()) {
+    (void)parent;
+    if (own < static_cast<int>(input.size())) nu[own] = input[own];
+  }
+  return nu;
+}
+
+Status CheckInternalTransition(const DatabaseInstance& db, const Task& task,
+                               const InternalService& svc,
+                               const Valuation& nu_before,
+                               const SetContents& set_before,
+                               const Valuation& nu_after,
+                               const SetContents& set_after) {
+  if (!EvalCondition(*svc.pre, db, nu_before)) {
+    return Status::FailedPrecondition(
+        StrCat("pre-condition of ", svc.name, " does not hold"));
+  }
+  if (!EvalCondition(*svc.post, db, nu_after)) {
+    return Status::FailedPrecondition(
+        StrCat("post-condition of ", svc.name, " does not hold"));
+  }
+  for (const auto& [own, parent] : task.fin()) {
+    (void)parent;
+    if (nu_before[own] != nu_after[own]) {
+      return Status::FailedPrecondition(
+          StrCat("input variable ", task.vars().var(own).name,
+                 " changed across an internal transition"));
+    }
+  }
+  // Set-update semantics (Definition 8).
+  auto tuple_of = [&](const Valuation& nu) {
+    std::vector<Value> t;
+    for (int v : task.set_vars()) t.push_back(nu[v]);
+    return t;
+  };
+  SetContents expected = set_before;
+  if (svc.inserts && svc.retrieves) {
+    std::vector<Value> inserted = tuple_of(nu_before);
+    std::vector<Value> retrieved = tuple_of(nu_after);
+    expected.insert(inserted);
+    if (expected.count(retrieved) == 0) {
+      return Status::FailedPrecondition(
+          "retrieved tuple not present in S ∪ {inserted}");
+    }
+    expected.erase(retrieved);
+  } else if (svc.inserts) {
+    expected.insert(tuple_of(nu_before));
+  } else if (svc.retrieves) {
+    std::vector<Value> retrieved = tuple_of(nu_after);
+    if (expected.count(retrieved) == 0) {
+      return Status::FailedPrecondition("retrieved tuple not present in S");
+    }
+    expected.erase(retrieved);
+  }
+  if (expected != set_after) {
+    return Status::FailedPrecondition("artifact relation mismatch");
+  }
+  return Status::Ok();
+}
+
+}  // namespace has

@@ -1,0 +1,52 @@
+// Concrete operational semantics (Definitions 8-9): local runs of a
+// task over a fixed database instance. A local run records, per step,
+// the observed service, the artifact-variable valuation and the
+// artifact-relation contents after the step.
+#ifndef HAS_RUNS_LOCAL_RUN_H_
+#define HAS_RUNS_LOCAL_RUN_H_
+
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "data/instance.h"
+#include "expr/eval.h"
+#include "model/artifact_system.h"
+
+namespace has {
+
+/// Contents of an artifact relation: a set of ID tuples.
+using SetContents = std::set<std::vector<Value>>;
+
+struct RunStep {
+  ServiceRef service;
+  Valuation nu;         ///< valuation after the step
+  SetContents set;      ///< artifact relation after the step
+  /// For opening steps: index of the child's local run in the tree.
+  int child_run = -1;
+};
+
+struct LocalRun {
+  TaskId task = kNoTask;
+  Valuation input;              ///< ν_in over x̄_in positions (full width)
+  std::vector<RunStep> steps;   ///< step 0 is the opening service
+  bool returning = false;       ///< ends with σ^c_T
+  Valuation output;             ///< final valuation if returning
+};
+
+/// The initial valuation of a task at opening: inputs from `input`,
+/// other ID variables null, numeric variables 0.
+Valuation OpeningValuation(const Task& task, const Valuation& input);
+
+/// Checks a single local transition I --σ--> I' (Definition 8) for an
+/// internal service. Returns an explanatory error if invalid.
+Status CheckInternalTransition(const DatabaseInstance& db, const Task& task,
+                               const InternalService& svc,
+                               const Valuation& nu_before,
+                               const SetContents& set_before,
+                               const Valuation& nu_after,
+                               const SetContents& set_after);
+
+}  // namespace has
+
+#endif  // HAS_RUNS_LOCAL_RUN_H_

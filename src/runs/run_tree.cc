@@ -1,0 +1,173 @@
+#include "runs/run_tree.h"
+
+#include <set>
+
+#include "common/strings.h"
+
+namespace has {
+
+namespace {
+
+Status CheckLocalRun(const ArtifactSystem& system, const DatabaseInstance& db,
+                     const RunTree& tree, int run_index) {
+  const LocalRun& run = tree.runs[run_index];
+  const Task& task = system.task(run.task);
+  if (run.steps.empty()) {
+    return Status::FailedPrecondition("empty local run");
+  }
+  if (run.steps[0].service != ServiceRef::Opening(run.task)) {
+    return Status::FailedPrecondition("run must start with σ^o_T");
+  }
+  Valuation expected0 = OpeningValuation(task, run.input);
+  if (run.steps[0].nu != expected0) {
+    return Status::FailedPrecondition("bad opening valuation");
+  }
+  if (!run.steps[0].set.empty()) {
+    return Status::FailedPrecondition("artifact relation must start empty");
+  }
+
+  std::set<TaskId> opened_in_segment;
+  std::set<TaskId> open_children;
+  for (size_t i = 1; i < run.steps.size(); ++i) {
+    const RunStep& prev = run.steps[i - 1];
+    const RunStep& step = run.steps[i];
+    const ServiceRef& s = step.service;
+    switch (s.kind) {
+      case ServiceRef::Kind::kInternal: {
+        if (s.task != run.task) {
+          return Status::FailedPrecondition("foreign internal service");
+        }
+        if (!open_children.empty()) {
+          return Status::FailedPrecondition(
+              "internal service with active subtasks (restriction 4)");
+        }
+        HAS_RETURN_IF_ERROR(CheckInternalTransition(
+            db, task, task.service(s.index), prev.nu, prev.set, step.nu,
+            step.set));
+        opened_in_segment.clear();
+        break;
+      }
+      case ServiceRef::Kind::kOpening: {
+        // Opening a child: pre-condition over this task's valuation,
+        // own state unchanged.
+        bool is_child = false;
+        for (TaskId c : task.children()) is_child = is_child || c == s.task;
+        if (!is_child) {
+          return Status::FailedPrecondition("opening a non-child");
+        }
+        if (opened_in_segment.count(s.task) > 0) {
+          return Status::FailedPrecondition(
+              "child opened twice in a segment (restriction 8)");
+        }
+        const Task& child = system.task(s.task);
+        if (!EvalCondition(*child.opening_pre(), db, prev.nu)) {
+          return Status::FailedPrecondition("child opening pre fails");
+        }
+        if (step.nu != prev.nu || step.set != prev.set) {
+          return Status::FailedPrecondition(
+              "opening must not change local data");
+        }
+        if (step.child_run < 0 ||
+            step.child_run >= static_cast<int>(tree.runs.size())) {
+          return Status::FailedPrecondition("dangling child run");
+        }
+        // Input passing (Definition 10).
+        const LocalRun& child_run = tree.runs[step.child_run];
+        for (const auto& [own, parent] : child.fin()) {
+          if (child_run.input[own] != prev.nu[parent]) {
+            return Status::FailedPrecondition("input passing mismatch");
+          }
+        }
+        opened_in_segment.insert(s.task);
+        open_children.insert(s.task);
+        break;
+      }
+      case ServiceRef::Kind::kClosing: {
+        if (s.task == run.task) {
+          // Own closing: must be the last step; conditions checked
+          // below.
+          if (i + 1 != run.steps.size()) {
+            return Status::FailedPrecondition("σ^c_T not last");
+          }
+          if (!open_children.empty()) {
+            return Status::FailedPrecondition(
+                "closing with active subtasks");
+          }
+          if (!EvalCondition(*task.closing_pre(), db, prev.nu)) {
+            return Status::FailedPrecondition("closing pre fails");
+          }
+          if (step.nu != prev.nu) {
+            return Status::FailedPrecondition("closing changed valuation");
+          }
+          break;
+        }
+        if (open_children.count(s.task) == 0) {
+          return Status::FailedPrecondition("closing a non-open child");
+        }
+        open_children.erase(s.task);
+        // Find the child run via the opening step.
+        int child_index = -1;
+        for (size_t j = 1; j < i; ++j) {
+          if (run.steps[j].service == ServiceRef::Opening(s.task)) {
+            child_index = run.steps[j].child_run;
+          }
+        }
+        if (child_index < 0) {
+          return Status::FailedPrecondition("close without open");
+        }
+        const LocalRun& child_run = tree.runs[child_index];
+        if (!child_run.returning) {
+          return Status::FailedPrecondition(
+              "closing a non-returning child run");
+        }
+        const Task& child = system.task(s.task);
+        // Return passing: null ID targets take child values; non-null
+        // ID targets keep theirs; numeric targets are overwritten;
+        // everything else unchanged.
+        Valuation expected = prev.nu;
+        for (const auto& [parent_var, own_var] : child.fout()) {
+          bool is_id = task.vars().var(parent_var).sort == VarSort::kId;
+          if (!is_id || prev.nu[parent_var].is_null()) {
+            expected[parent_var] = child_run.output[own_var];
+          }
+        }
+        if (step.nu != expected) {
+          return Status::FailedPrecondition("return passing mismatch");
+        }
+        if (step.set != prev.set) {
+          return Status::FailedPrecondition("closing changed the set");
+        }
+        break;
+      }
+    }
+  }
+  if (run.returning) {
+    if (run.steps.back().service != ServiceRef::Closing(run.task)) {
+      return Status::FailedPrecondition("returning run must end with σ^c_T");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status CheckRunTree(const ArtifactSystem& system, const DatabaseInstance& db,
+                    const RunTree& tree) {
+  if (tree.runs.empty()) {
+    return Status::FailedPrecondition("empty tree");
+  }
+  if (tree.runs[0].task != system.root()) {
+    return Status::FailedPrecondition("node 0 must run the root task");
+  }
+  for (size_t i = 0; i < tree.runs.size(); ++i) {
+    Status s = CheckLocalRun(system, db, tree, static_cast<int>(i));
+    if (!s.ok()) {
+      return Status::FailedPrecondition(
+          StrCat("run ", i, " (task ", system.task(tree.runs[i].task).name(),
+                 "): ", s.message()));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace has

@@ -1,0 +1,32 @@
+// Trees of local runs (Definition 10): nodes are local runs, edges link
+// a parent's opening step to the child's run, with the input/output
+// variable-passing conditions checked.
+#ifndef HAS_RUNS_RUN_TREE_H_
+#define HAS_RUNS_RUN_TREE_H_
+
+#include <vector>
+
+#include "runs/local_run.h"
+
+namespace has {
+
+struct RunTree {
+  /// Node 0 is the root local run.
+  std::vector<LocalRun> runs;
+
+  int AddRun(LocalRun run) {
+    runs.push_back(std::move(run));
+    return static_cast<int>(runs.size() - 1);
+  }
+};
+
+/// Validates the whole tree against the system and database: every
+/// local transition, the segment discipline (each child opened at most
+/// once per segment and closed before the next internal service), and
+/// the input/output passing of Definition 10.
+Status CheckRunTree(const ArtifactSystem& system, const DatabaseInstance& db,
+                    const RunTree& tree);
+
+}  // namespace has
+
+#endif  // HAS_RUNS_RUN_TREE_H_

@@ -1,0 +1,118 @@
+#include "schema/schema.h"
+
+#include <set>
+
+#include "common/strings.h"
+
+namespace has {
+
+AttrId Relation::AddNumericAttribute(std::string name) {
+  attrs_.push_back(Attribute{std::move(name), AttrKind::kNumeric, kNoRelation});
+  return static_cast<AttrId>(attrs_.size() - 1);
+}
+
+AttrId Relation::AddForeignKey(std::string name, RelationId target) {
+  attrs_.push_back(Attribute{std::move(name), AttrKind::kForeign, target});
+  return static_cast<AttrId>(attrs_.size() - 1);
+}
+
+std::optional<AttrId> Relation::FindAttr(const std::string& name) const {
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (attrs_[i].name == name) return static_cast<AttrId>(i);
+  }
+  return std::nullopt;
+}
+
+std::vector<AttrId> Relation::ForeignKeyAttrs() const {
+  std::vector<AttrId> out;
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (attrs_[i].kind == AttrKind::kForeign) out.push_back(static_cast<AttrId>(i));
+  }
+  return out;
+}
+
+std::vector<AttrId> Relation::NumericAttrs() const {
+  std::vector<AttrId> out;
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (attrs_[i].kind == AttrKind::kNumeric) out.push_back(static_cast<AttrId>(i));
+  }
+  return out;
+}
+
+const char* SchemaClassName(SchemaClass c) {
+  switch (c) {
+    case SchemaClass::kAcyclic:
+      return "acyclic";
+    case SchemaClass::kLinearlyCyclic:
+      return "linearly-cyclic";
+    case SchemaClass::kCyclic:
+      return "cyclic";
+  }
+  return "unknown";
+}
+
+RelationId DatabaseSchema::AddRelation(std::string name) {
+  RelationId id = static_cast<RelationId>(relations_.size());
+  relations_.emplace_back(std::move(name), id);
+  return id;
+}
+
+std::optional<RelationId> DatabaseSchema::FindRelation(
+    const std::string& name) const {
+  for (const Relation& r : relations_) {
+    if (r.name() == name) return r.id();
+  }
+  return std::nullopt;
+}
+
+Status DatabaseSchema::Validate() const {
+  std::set<std::string> names;
+  for (const Relation& r : relations_) {
+    if (!names.insert(r.name()).second) {
+      return Status::InvalidArgument(
+          StrCat("duplicate relation name: ", r.name()));
+    }
+    std::set<std::string> attr_names;
+    for (const Attribute& a : r.attrs()) {
+      if (!attr_names.insert(a.name).second) {
+        return Status::InvalidArgument(StrCat("duplicate attribute ", a.name,
+                                              " in relation ", r.name()));
+      }
+      if (a.kind == AttrKind::kForeign) {
+        if (a.references < 0 || a.references >= num_relations()) {
+          return Status::InvalidArgument(
+              StrCat("foreign key ", r.name(), ".", a.name,
+                     " references unknown relation id ", a.references));
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+std::string DatabaseSchema::ToString() const {
+  std::string out;
+  for (const Relation& r : relations_) {
+    out += StrCat("relation ", r.name(), "(");
+    std::vector<std::string> parts;
+    for (const Attribute& a : r.attrs()) {
+      switch (a.kind) {
+        case AttrKind::kId:
+          parts.push_back(StrCat(a.name, ": ID"));
+          break;
+        case AttrKind::kNumeric:
+          parts.push_back(StrCat(a.name, ": numeric"));
+          break;
+        case AttrKind::kForeign:
+          parts.push_back(
+              StrCat(a.name, " -> ", relations_[a.references].name()));
+          break;
+      }
+    }
+    out += StrJoin(parts, ", ");
+    out += ")\n";
+  }
+  return out;
+}
+
+}  // namespace has

@@ -1,0 +1,103 @@
+// Database schemas (Definition 1). Every relation has an implicit key
+// attribute ID, a set of foreign-key attributes (each referencing the ID
+// of some relation of the schema), and a set of numeric non-key
+// attributes. Instances must satisfy the key dependency and the
+// inclusion dependencies R[Fi] ⊆ R_Fi[ID].
+#ifndef HAS_SCHEMA_SCHEMA_H_
+#define HAS_SCHEMA_SCHEMA_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace has {
+
+/// Index of a relation within its DatabaseSchema.
+using RelationId = int;
+/// Index of an attribute within its relation (0 is always the ID).
+using AttrId = int;
+
+inline constexpr RelationId kNoRelation = -1;
+
+enum class AttrKind {
+  kId,       ///< the key attribute (position 0 of every relation)
+  kNumeric,  ///< non-key attribute with domain R
+  kForeign,  ///< foreign key referencing another relation's ID
+};
+
+struct Attribute {
+  std::string name;
+  AttrKind kind = AttrKind::kNumeric;
+  /// Target relation for kForeign attributes; kNoRelation otherwise.
+  RelationId references = kNoRelation;
+};
+
+/// A relation schema: attribute 0 is the ID; the rest are numeric or
+/// foreign-key attributes in declaration order.
+class Relation {
+ public:
+  Relation(std::string name, RelationId id) : name_(std::move(name)), id_(id) {
+    attrs_.push_back(Attribute{"id", AttrKind::kId, kNoRelation});
+  }
+
+  const std::string& name() const { return name_; }
+  RelationId id() const { return id_; }
+
+  AttrId AddNumericAttribute(std::string name);
+  AttrId AddForeignKey(std::string name, RelationId target);
+
+  int arity() const { return static_cast<int>(attrs_.size()); }
+  const Attribute& attr(AttrId a) const { return attrs_[a]; }
+  const std::vector<Attribute>& attrs() const { return attrs_; }
+
+  /// Attribute lookup by name; nullopt if absent.
+  std::optional<AttrId> FindAttr(const std::string& name) const;
+
+  /// Indices of foreign-key attributes, in declaration order.
+  std::vector<AttrId> ForeignKeyAttrs() const;
+  /// Indices of numeric attributes, in declaration order.
+  std::vector<AttrId> NumericAttrs() const;
+
+ private:
+  std::string name_;
+  RelationId id_;
+  std::vector<Attribute> attrs_;
+};
+
+/// Shape of the foreign-key graph; drives the complexity of verification
+/// (Tables 1 and 2 of the paper).
+enum class SchemaClass {
+  kAcyclic,        ///< no FK cycles (includes star/snowflake schemas)
+  kLinearlyCyclic, ///< every relation on at most one simple FK cycle
+  kCyclic,         ///< arbitrary FK cycles
+};
+
+const char* SchemaClassName(SchemaClass c);
+
+/// A database schema: a set of relations plus FK wiring.
+class DatabaseSchema {
+ public:
+  /// Creates a relation with the given name; returns its id.
+  RelationId AddRelation(std::string name);
+
+  Relation& relation(RelationId r) { return relations_[r]; }
+  const Relation& relation(RelationId r) const { return relations_[r]; }
+  int num_relations() const { return static_cast<int>(relations_.size()); }
+
+  std::optional<RelationId> FindRelation(const std::string& name) const;
+
+  /// Validates FK targets and name uniqueness.
+  Status Validate() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Relation> relations_;
+};
+
+}  // namespace has
+
+#endif  // HAS_SCHEMA_SCHEMA_H_

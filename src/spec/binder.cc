@@ -1,0 +1,122 @@
+#include "spec/binder.h"
+
+#include "common/strings.h"
+#include "spec/lexer.h"
+
+namespace has {
+
+BoundTerm BoundTerm::MakeScaledVar(int v, const Rational& scale) {
+  BoundTerm t;
+  t.kind = Kind::kLinear;
+  t.linear.AddTerm(v, scale);
+  return t;
+}
+
+LinearExpr BoundTerm::ToLinear() const {
+  switch (kind) {
+    case Kind::kNull:
+      return LinearExpr();
+    case Kind::kVar:
+      return LinearExpr::Var(var);
+    case Kind::kConst:
+      return LinearExpr::Constant(value);
+    case Kind::kLinear:
+      return linear;
+  }
+  return LinearExpr();
+}
+
+BoundTerm CombineTerms(const BoundTerm& lhs, const BoundTerm& rhs,
+                       bool minus) {
+  BoundTerm out;
+  out.kind = BoundTerm::Kind::kLinear;
+  out.linear = minus ? lhs.ToLinear() - rhs.ToLinear()
+                     : lhs.ToLinear() + rhs.ToLinear();
+  return out;
+}
+
+BoundTerm NegateTerm(const BoundTerm& t) {
+  if (t.kind == BoundTerm::Kind::kConst) {
+    return BoundTerm::MakeConst(Rational(0) - t.value);
+  }
+  BoundTerm out;
+  out.kind = BoundTerm::Kind::kLinear;
+  out.linear = -t.ToLinear();
+  return out;
+}
+
+StatusOr<Rational> ParseRationalLiteral(const std::string& text) {
+  size_t dot = text.find('.');
+  if (dot == std::string::npos) {
+    return Rational(BigInt::FromString(text), BigInt(1));
+  }
+  std::string digits = text.substr(0, dot) + text.substr(dot + 1);
+  size_t frac_len = text.size() - dot - 1;
+  BigInt den(1);
+  BigInt ten(10);
+  for (size_t i = 0; i < frac_len; ++i) den = den * ten;
+  return Rational(BigInt::FromString(digits), den);
+}
+
+StatusOr<CondPtr> BuildComparisonImpl(const BoundTerm& lhs,
+                                      const BoundTerm& rhs, int op,
+                                      const VarScope& scope) {
+  TokKind kind = static_cast<TokKind>(op);
+  auto simple = [](const BoundTerm& t) {
+    return t.kind != BoundTerm::Kind::kLinear;
+  };
+  auto to_term = [](const BoundTerm& t) -> Term {
+    switch (t.kind) {
+      case BoundTerm::Kind::kNull:
+        return Term::Null();
+      case BoundTerm::Kind::kVar:
+        return Term::Var(t.var);
+      case BoundTerm::Kind::kConst:
+        return Term::Const(t.value);
+      case BoundTerm::Kind::kLinear:
+        break;
+    }
+    return Term::Null();
+  };
+  auto is_id_side = [&scope](const BoundTerm& t) {
+    return t.kind == BoundTerm::Kind::kNull ||
+           (t.kind == BoundTerm::Kind::kVar &&
+            scope.var(t.var).sort == VarSort::kId);
+  };
+
+  if ((kind == TokKind::kEq || kind == TokKind::kNe) && simple(lhs) &&
+      simple(rhs)) {
+    // Sort discipline: an ID-side may only meet another ID-side.
+    bool lhs_id = is_id_side(lhs), rhs_id = is_id_side(rhs);
+    if (lhs_id != rhs_id) {
+      return Status::InvalidArgument(
+          "ID terms support only ==/!= against ID variables or null");
+    }
+    CondPtr eq = Condition::Eq(to_term(lhs), to_term(rhs));
+    return kind == TokKind::kEq ? eq : Condition::Not(std::move(eq));
+  }
+  if (is_id_side(lhs) || is_id_side(rhs)) {
+    return Status::InvalidArgument(
+        "ID terms support only ==/!= against variables or null");
+  }
+  LinearExpr diff = lhs.ToLinear() - rhs.ToLinear();
+  switch (kind) {
+    case TokKind::kEq:
+      return Condition::Arith(LinearConstraint{std::move(diff), Relop::kEq});
+    case TokKind::kNe:
+      return Condition::Not(
+          Condition::Arith(LinearConstraint{std::move(diff), Relop::kEq}));
+    case TokKind::kLt:
+      return Condition::Arith(LinearConstraint{std::move(diff), Relop::kLt});
+    case TokKind::kLe:
+      return Condition::Arith(LinearConstraint{std::move(diff), Relop::kLe});
+    case TokKind::kGt:
+      return Condition::Arith(LinearConstraint{-diff, Relop::kLt});
+    case TokKind::kGe:
+      return Condition::Arith(LinearConstraint{-diff, Relop::kLe});
+    default:
+      return Status::InvalidArgument("bad comparison operator");
+  }
+}
+
+}  // namespace has

@@ -1,0 +1,60 @@
+// Term binding for the spec parser: accumulates linear expressions and
+// builds comparison atoms, choosing between the equality component
+// (ID/null/simple terms) and arithmetic constraints (Section 5's linear
+// fragment) based on the operands.
+#ifndef HAS_SPEC_BINDER_H_
+#define HAS_SPEC_BINDER_H_
+
+#include <string>
+
+#include "expr/condition.h"
+
+namespace has {
+
+/// A parsed arithmetic-or-simple term.
+struct BoundTerm {
+  enum class Kind : uint8_t { kNull, kVar, kConst, kLinear };
+  Kind kind = Kind::kNull;
+  int var = -1;
+  Rational value;
+  LinearExpr linear;
+
+  static BoundTerm MakeNull() { return BoundTerm{}; }
+  static BoundTerm MakeVar(int v) {
+    BoundTerm t;
+    t.kind = Kind::kVar;
+    t.var = v;
+    return t;
+  }
+  static BoundTerm MakeConst(Rational c) {
+    BoundTerm t;
+    t.kind = Kind::kConst;
+    t.value = std::move(c);
+    return t;
+  }
+  static BoundTerm MakeScaledVar(int v, const Rational& scale);
+
+  /// View as a linear expression (only for numeric contexts).
+  LinearExpr ToLinear() const;
+};
+
+/// lhs ± rhs; promotes to kLinear.
+BoundTerm CombineTerms(const BoundTerm& lhs, const BoundTerm& rhs,
+                       bool minus);
+BoundTerm NegateTerm(const BoundTerm& t);
+
+/// Builds the comparison atom lhs OP rhs. kEq/kNe between simple terms
+/// become equality atoms; ordering comparisons and linear operands
+/// become arithmetic constraints. The token kinds mirror spec/lexer.h:
+/// op ∈ {kEq,kNe,kLt,kLe,kGt,kGe} passed as an int to avoid the
+/// dependency.
+StatusOr<CondPtr> BuildComparisonImpl(const BoundTerm& lhs,
+                                      const BoundTerm& rhs, int op,
+                                      const VarScope& scope);
+
+/// Parses a decimal literal into an exact rational.
+StatusOr<Rational> ParseRationalLiteral(const std::string& text);
+
+}  // namespace has
+
+#endif  // HAS_SPEC_BINDER_H_

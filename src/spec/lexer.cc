@@ -1,0 +1,169 @@
+#include "spec/lexer.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace has {
+
+StatusOr<std::vector<Token>> Tokenize(const std::string& source) {
+  std::vector<Token> out;
+  int line = 1, column = 1;
+  size_t i = 0;
+  auto push = [&](TokKind kind, std::string text) {
+    out.push_back(Token{kind, std::move(text), line, column});
+  };
+  while (i < source.size()) {
+    char c = source[i];
+    if (c == '\n') {
+      ++line;
+      column = 1;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++column;
+      ++i;
+      continue;
+    }
+    if (c == '#' || (c == '/' && i + 1 < source.size() &&
+                     source[i + 1] == '/')) {
+      while (i < source.size() && source[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < source.size() &&
+             (std::isalnum(static_cast<unsigned char>(source[i])) ||
+              source[i] == '_')) {
+        ++i;
+      }
+      push(TokKind::kIdent, source.substr(start, i - start));
+      column += static_cast<int>(i - start);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      while (i < source.size() &&
+             (std::isdigit(static_cast<unsigned char>(source[i])) ||
+              source[i] == '.')) {
+        ++i;
+      }
+      push(TokKind::kNumber, source.substr(start, i - start));
+      column += static_cast<int>(i - start);
+      continue;
+    }
+    auto two = [&](char a, char b) {
+      return c == a && i + 1 < source.size() && source[i + 1] == b;
+    };
+    if (two('-', '>')) {
+      push(TokKind::kArrow, "->");
+      i += 2;
+      column += 2;
+      continue;
+    }
+    if (two('<', '-')) {
+      push(TokKind::kLArrow, "<-");
+      i += 2;
+      column += 2;
+      continue;
+    }
+    if (two('=', '=')) {
+      push(TokKind::kEq, "==");
+      i += 2;
+      column += 2;
+      continue;
+    }
+    if (two('!', '=')) {
+      push(TokKind::kNe, "!=");
+      i += 2;
+      column += 2;
+      continue;
+    }
+    if (two('<', '=')) {
+      push(TokKind::kLe, "<=");
+      i += 2;
+      column += 2;
+      continue;
+    }
+    if (two('>', '=')) {
+      push(TokKind::kGe, ">=");
+      i += 2;
+      column += 2;
+      continue;
+    }
+    if (two('&', '&')) {
+      push(TokKind::kAnd, "&&");
+      i += 2;
+      column += 2;
+      continue;
+    }
+    if (two('|', '|')) {
+      push(TokKind::kOr, "||");
+      i += 2;
+      column += 2;
+      continue;
+    }
+    TokKind kind;
+    switch (c) {
+      case '{':
+        kind = TokKind::kLBrace;
+        break;
+      case '}':
+        kind = TokKind::kRBrace;
+        break;
+      case '(':
+        kind = TokKind::kLParen;
+        break;
+      case ')':
+        kind = TokKind::kRParen;
+        break;
+      case '[':
+        kind = TokKind::kLBracket;
+        break;
+      case ']':
+        kind = TokKind::kRBracket;
+        break;
+      case ',':
+        kind = TokKind::kComma;
+        break;
+      case ';':
+        kind = TokKind::kSemi;
+        break;
+      case ':':
+        kind = TokKind::kColon;
+        break;
+      case '@':
+        kind = TokKind::kAt;
+        break;
+      case '<':
+        kind = TokKind::kLt;
+        break;
+      case '>':
+        kind = TokKind::kGt;
+        break;
+      case '+':
+        kind = TokKind::kPlus;
+        break;
+      case '-':
+        kind = TokKind::kMinus;
+        break;
+      case '*':
+        kind = TokKind::kStar;
+        break;
+      case '!':
+        kind = TokKind::kNot;
+        break;
+      default:
+        return Status::InvalidArgument(
+            StrCat("line ", line, ": unexpected character '", c, "'"));
+    }
+    push(kind, std::string(1, c));
+    ++i;
+    ++column;
+  }
+  push(TokKind::kEnd, "");
+  return out;
+}
+
+}  // namespace has

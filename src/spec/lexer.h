@@ -1,0 +1,55 @@
+// Lexer for the HAS specification language (see spec/parser.h for the
+// grammar). Produces a token stream with positions for error messages.
+#ifndef HAS_SPEC_LEXER_H_
+#define HAS_SPEC_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace has {
+
+enum class TokKind : uint8_t {
+  kIdent,
+  kNumber,
+  kLBrace,    // {
+  kRBrace,    // }
+  kLParen,    // (
+  kRParen,    // )
+  kLBracket,  // [
+  kRBracket,  // ]
+  kComma,
+  kSemi,
+  kColon,
+  kAt,        // @
+  kArrow,     // ->
+  kLArrow,    // <-
+  kEq,        // ==
+  kNe,        // !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kPlus,
+  kMinus,
+  kStar,
+  kAnd,       // &&
+  kOr,        // ||
+  kNot,       // !
+  kEnd,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;
+  int line = 0;
+  int column = 0;
+};
+
+/// Tokenizes `source`; '#' and '//' start line comments.
+StatusOr<std::vector<Token>> Tokenize(const std::string& source);
+
+}  // namespace has
+
+#endif  // HAS_SPEC_LEXER_H_

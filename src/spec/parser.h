@@ -1,0 +1,67 @@
+// Parser for the HAS specification language. Grammar sketch:
+//
+//   system {
+//     relation FLIGHTS { price: num; comp_hotel_id -> HOTELS; }
+//     task Root {
+//       ids: x, y;  nums: amount;
+//       set (x, y);                       # artifact relation tuple s̄_T
+//       input: x;                         # root: external inputs
+//       service Store {
+//         pre:  x != null;
+//         post: x == null && amount == 0;
+//         insert;                          # +S_T(s̄); also: retrieve;
+//       }
+//       task Child {
+//         ids: cx;  nums: camount;
+//         input: cx <- x;                 # f_in: child_var <- parent_var
+//         output: cx -> y;                # f_out: child_var -> parent_var
+//         open when x != null;            # over the PARENT's variables
+//         close when cx != null;          # over the child's variables
+//       }
+//     }
+//   }
+//   property safe {
+//     G({x == null} || ! [ F {cx != null} ]@Child)
+//   }
+//
+// Conditions: ==, !=, <, <=, >, >=, &&, ||, !, relation atoms R(args),
+// linear arithmetic over numeric variables, `null`, numeric literals.
+// HLTL connectives: G F X U ! && || ->, child formulas [φ]@Task,
+// conditions in braces, service propositions open(T), close(T),
+// svc(Task.Service).
+#ifndef HAS_SPEC_PARSER_H_
+#define HAS_SPEC_PARSER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "hltl/hltl.h"
+#include "model/artifact_system.h"
+
+namespace has {
+
+struct ParsedSpec {
+  ArtifactSystem system;
+  std::vector<std::pair<std::string, HltlProperty>> properties;
+
+  /// Property lookup by name; nullptr if absent.
+  const HltlProperty* FindProperty(const std::string& name) const {
+    for (const auto& [n, p] : properties) {
+      if (n == name) return &p;
+    }
+    return nullptr;
+  }
+};
+
+/// Parses a full specification (one system, any number of properties).
+StatusOr<ParsedSpec> ParseSpec(const std::string& source);
+
+/// Parses a condition in isolation against a scope/schema (test aid).
+StatusOr<CondPtr> ParseCondition(const std::string& source,
+                                 const VarScope& scope,
+                                 const DatabaseSchema& schema);
+
+}  // namespace has
+
+#endif  // HAS_SPEC_PARSER_H_

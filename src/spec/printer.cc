@@ -1,0 +1,16 @@
+#include "spec/printer.h"
+
+#include "common/strings.h"
+
+namespace has {
+
+std::string PrintSystem(const ArtifactSystem& system) {
+  return system.ToString();
+}
+
+std::string PrintProperty(const ArtifactSystem& system,
+                          const HltlProperty& property) {
+  return property.ToString(system);
+}
+
+}  // namespace has

@@ -1,0 +1,19 @@
+// Debug printing of parsed specifications (not guaranteed to
+// round-trip; intended for diagnostics and golden tests).
+#ifndef HAS_SPEC_PRINTER_H_
+#define HAS_SPEC_PRINTER_H_
+
+#include <string>
+
+#include "hltl/hltl.h"
+#include "model/artifact_system.h"
+
+namespace has {
+
+std::string PrintSystem(const ArtifactSystem& system);
+std::string PrintProperty(const ArtifactSystem& system,
+                          const HltlProperty& property);
+
+}  // namespace has
+
+#endif  // HAS_SPEC_PRINTER_H_

@@ -1,0 +1,114 @@
+#include "vass/karp_miller.h"
+
+#include <deque>
+
+#include "common/status.h"
+
+namespace has {
+
+KarpMiller::KarpMiller(VassSystem* system, KarpMillerOptions options)
+    : system_(system), options_(options) {}
+
+int KarpMiller::InternNode(int state, std::vector<int64_t> marking,
+                           int parent, int64_t parent_label, bool* created) {
+  auto key = std::make_pair(state, marking);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    *created = false;
+    return it->second;
+  }
+  Node node;
+  node.state = state;
+  node.marking = std::move(marking);
+  node.parent = parent;
+  node.parent_label = parent_label;
+  int id = static_cast<int>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  index_[key] = id;
+  *created = true;
+  return id;
+}
+
+void KarpMiller::Build(const std::vector<int>& initial_states) {
+  std::deque<int> worklist;
+  for (int s : initial_states) {
+    bool created = false;
+    int id = InternNode(s, {}, -1, -1, &created);
+    if (created) worklist.push_back(id);
+  }
+  std::vector<VassEdge> edges;
+  while (!worklist.empty()) {
+    if (nodes_.size() > options_.max_nodes) {
+      truncated_ = true;
+      return;
+    }
+    int n = worklist.front();
+    worklist.pop_front();
+    const int state = nodes_[n].state;
+    auto cache_it = succ_cache_.find(state);
+    if (cache_it == succ_cache_.end()) {
+      edges.clear();
+      system_->Successors(state, &edges);
+      cache_it = succ_cache_.emplace(state, edges).first;
+    }
+    // Copy: interning may invalidate references into nodes_.
+    const std::vector<VassEdge> out = cache_it->second;
+    for (const VassEdge& e : out) {
+      std::vector<int64_t> next;
+      if (!marking::Apply(nodes_[n].marking, e.delta, &next)) continue;
+      // ω-acceleration along the spanning-tree ancestry: if an ancestor
+      // with the same VASS state is strictly covered by `next`, the
+      // strictly increased coordinates can be pumped arbitrarily.
+      bool accelerated = true;
+      while (accelerated) {
+        accelerated = false;
+        for (int a = n; a != -1; a = nodes_[a].parent) {
+          if (nodes_[a].state != e.target) continue;
+          const std::vector<int64_t>& am = nodes_[a].marking;
+          if (!marking::LessEq(am, next) || marking::Equal(am, next)) {
+            continue;
+          }
+          size_t dims = std::max(am.size(), next.size());
+          for (size_t d = 0; d < dims; ++d) {
+            int64_t av = marking::Get(am, static_cast<int>(d));
+            int64_t nv = marking::Get(next, static_cast<int>(d));
+            if (av < nv && nv != kOmega) {
+              marking::Set(&next, static_cast<int>(d), kOmega);
+              accelerated = true;
+            }
+          }
+        }
+      }
+      while (!next.empty() && next.back() == 0) next.pop_back();
+      bool created = false;
+      int child = InternNode(e.target, std::move(next), n, e.label, &created);
+      nodes_[n].edges.push_back(Edge{child, e.label, e.delta});
+      if (created) worklist.push_back(child);
+    }
+  }
+}
+
+int KarpMiller::FindNode(const std::function<bool(int)>& pred) const {
+  for (size_t n = 0; n < nodes_.size(); ++n) {
+    if (pred(nodes_[n].state)) return static_cast<int>(n);
+  }
+  return -1;
+}
+
+std::vector<int64_t> KarpMiller::PathLabels(int n) const {
+  std::vector<int64_t> labels;
+  for (int cur = n; cur != -1 && nodes_[cur].parent != -1;
+       cur = nodes_[cur].parent) {
+    labels.push_back(nodes_[cur].parent_label);
+  }
+  std::reverse(labels.begin(), labels.end());
+  return labels;
+}
+
+size_t KarpMiller::TotalEdges() const {
+  size_t total = 0;
+  for (const Node& n : nodes_) total += n.edges.size();
+  return total;
+}
+
+}  // namespace has

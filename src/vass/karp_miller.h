@@ -1,0 +1,89 @@
+// Karp–Miller coverability graph with ω-acceleration. Provides exact
+// state (repeated) reachability for VASS per Section 4.2:
+//   - a task VASS state q is reachable iff some coverability-graph node
+//     carries q (state reachability / returning & blocking paths of
+//     Lemma 21);
+//   - repeated reachability (lasso paths) reduces to finding a
+//     reachable accepting node lying on a closed walk of the graph
+//     whose net effect is ≥ 0 on ω-coordinates (see repeated.h).
+//
+// The pumping property of Karp–Miller trees makes both directions
+// sound: node markings are exact on non-ω coordinates and arbitrarily
+// pumpable on ω ones.
+#ifndef HAS_VASS_KARP_MILLER_H_
+#define HAS_VASS_KARP_MILLER_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "vass/vass.h"
+
+namespace has {
+
+struct KarpMillerOptions {
+  /// Hard cap on coverability-graph nodes; exceeded => truncated().
+  size_t max_nodes = 1 << 18;
+};
+
+class KarpMiller {
+ public:
+  explicit KarpMiller(VassSystem* system, KarpMillerOptions options = {});
+
+  /// Explores the coverability graph from (s, 0̄) for each initial
+  /// state s.
+  void Build(const std::vector<int>& initial_states);
+
+  bool truncated() const { return truncated_; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int node_state(int n) const { return nodes_[n].state; }
+  const std::vector<int64_t>& node_marking(int n) const {
+    return nodes_[n].marking;
+  }
+
+  /// A coverability-graph edge. Keeps the raw action delta: closed-walk
+  /// effects on ω-coordinates are not recoverable from the markings.
+  struct Edge {
+    int target = -1;
+    int64_t label = -1;
+    Delta delta;
+  };
+
+  /// Graph edges out of node n.
+  const std::vector<Edge>& edges(int n) const { return nodes_[n].edges; }
+
+  /// First node (in creation order) whose VASS state satisfies `pred`;
+  /// -1 if none.
+  int FindNode(const std::function<bool(int)>& pred) const;
+
+  /// Action labels along the spanning-tree path from a root to node n.
+  std::vector<int64_t> PathLabels(int n) const;
+
+  /// Statistics for the benchmark harness.
+  size_t TotalEdges() const;
+
+ private:
+  struct Node {
+    int state = -1;
+    std::vector<int64_t> marking;
+    int parent = -1;          // spanning-tree parent
+    int64_t parent_label = -1;
+    std::vector<Edge> edges;
+  };
+
+  int InternNode(int state, std::vector<int64_t> marking, int parent,
+                 int64_t parent_label, bool* created);
+
+  VassSystem* system_;
+  KarpMillerOptions options_;
+  std::vector<Node> nodes_;
+  std::map<std::pair<int, std::vector<int64_t>>, int> index_;
+  std::unordered_map<int, std::vector<VassEdge>> succ_cache_;
+  bool truncated_ = false;
+};
+
+}  // namespace has
+
+#endif  // HAS_VASS_KARP_MILLER_H_

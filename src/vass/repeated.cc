@@ -1,0 +1,217 @@
+#include "vass/repeated.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/status.h"
+
+namespace has {
+
+namespace {
+
+/// Tarjan SCCs over the coverability graph (iterative to avoid deep
+/// recursion on long chains).
+std::vector<int> ComputeSccs(const KarpMiller& g, int* num_sccs) {
+  const int n = g.num_nodes();
+  std::vector<int> scc(n, -1), low(n, 0), disc(n, -1), stack;
+  std::vector<bool> on_stack(n, false);
+  int time = 0, count = 0;
+
+  struct Frame {
+    int node;
+    size_t edge_index;
+  };
+  for (int start = 0; start < n; ++start) {
+    if (disc[start] != -1) continue;
+    std::vector<Frame> frames{{start, 0}};
+    disc[start] = low[start] = time++;
+    stack.push_back(start);
+    on_stack[start] = true;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const auto& edges = g.edges(f.node);
+      if (f.edge_index < edges.size()) {
+        int next = edges[f.edge_index++].target;
+        if (disc[next] == -1) {
+          disc[next] = low[next] = time++;
+          stack.push_back(next);
+          on_stack[next] = true;
+          frames.push_back(Frame{next, 0});
+        } else if (on_stack[next]) {
+          low[f.node] = std::min(low[f.node], disc[next]);
+        }
+      } else {
+        if (low[f.node] == disc[f.node]) {
+          while (true) {
+            int w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            scc[w] = count;
+            if (w == f.node) break;
+          }
+          ++count;
+        }
+        int done = f.node;
+        frames.pop_back();
+        if (!frames.empty()) {
+          low[frames.back().node] =
+              std::min(low[frames.back().node], low[done]);
+        }
+      }
+    }
+  }
+  *num_sccs = count;
+  return scc;
+}
+
+std::vector<int> OmegaDims(const std::vector<int64_t>& marking) {
+  std::vector<int> out;
+  for (size_t d = 0; d < marking.size(); ++d) {
+    if (marking[d] == kOmega) out.push_back(static_cast<int>(d));
+  }
+  return out;
+}
+
+/// BFS within one SCC for any closed walk start → start; returns its
+/// label sequence.
+std::optional<std::vector<int64_t>> FindAnyLoop(const KarpMiller& g,
+                                                const std::vector<int>& scc,
+                                                int target, int start) {
+  std::vector<int> parent_node(g.num_nodes(), -1);
+  std::vector<int64_t> parent_label(g.num_nodes(), -1);
+  std::vector<bool> seen(g.num_nodes(), false);
+  std::vector<int> queue{start};
+  for (size_t qi = 0; qi < queue.size(); ++qi) {
+    int u = queue[qi];
+    for (const KarpMiller::Edge& e : g.edges(u)) {
+      if (scc[e.target] != target) continue;
+      if (e.target == start) {
+        std::vector<int64_t> labels{e.label};
+        for (int w = u; w != start; w = parent_node[w]) {
+          labels.push_back(parent_label[w]);
+        }
+        std::reverse(labels.begin(), labels.end());
+        return labels;
+      }
+      if (!seen[e.target]) {
+        seen[e.target] = true;
+        parent_node[e.target] = u;
+        parent_label[e.target] = e.label;
+        queue.push_back(e.target);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+/// DFS within one SCC for a closed walk start → start whose net effect
+/// on the ω-dimensions is ≥ 0 componentwise (exact dimensions return to
+/// the same value around any closed walk of the coverability graph by
+/// construction). Effects are clamped to ±effect_bound; the search is
+/// exhaustive within the clamp and step budget.
+std::optional<std::vector<int64_t>> FindNonNegLoop(
+    const KarpMiller& g, const std::vector<int>& scc, int target, int start,
+    const std::vector<int>& omega_dims,
+    const RepeatedReachabilityOptions& options) {
+  using Key = std::pair<int, std::vector<int64_t>>;  // (node, effect)
+  auto clamp = [&](int64_t v) {
+    return std::min(std::max(v, -options.effect_bound), options.effect_bound);
+  };
+  std::map<Key, std::pair<Key, int64_t>> parent;  // key -> (prev key, label)
+  std::set<Key> seen;
+  std::vector<Key> stack;
+  Key init{start, std::vector<int64_t>(omega_dims.size(), 0)};
+  stack.push_back(init);
+  seen.insert(init);
+  size_t steps = 0;
+  while (!stack.empty()) {
+    if (++steps > options.max_steps) break;
+    Key cur = stack.back();
+    stack.pop_back();
+    for (const KarpMiller::Edge& e : g.edges(cur.first)) {
+      if (scc[e.target] != target) continue;
+      std::vector<int64_t> eff = cur.second;
+      for (const auto& [dim, change] : e.delta) {
+        for (size_t k = 0; k < omega_dims.size(); ++k) {
+          if (omega_dims[k] == dim) eff[k] = clamp(eff[k] + change);
+        }
+      }
+      if (e.target == start &&
+          std::all_of(eff.begin(), eff.end(),
+                      [](int64_t v) { return v >= 0; })) {
+        // Reconstruct the label sequence.
+        std::vector<int64_t> labels{e.label};
+        Key key = cur;
+        while (key != init) {
+          auto it = parent.find(key);
+          HAS_CHECK(it != parent.end());
+          labels.push_back(it->second.second);
+          key = it->second.first;
+        }
+        std::reverse(labels.begin(), labels.end());
+        return labels;
+      }
+      Key key{e.target, std::move(eff)};
+      if (seen.insert(key).second) {
+        parent[key] = {cur, e.label};
+        stack.push_back(std::move(key));
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<LassoWitness> FindAcceptingLasso(
+    const KarpMiller& graph, const std::function<bool(int)>& accepting,
+    const RepeatedReachabilityOptions& options) {
+  int num_sccs = 0;
+  std::vector<int> scc = ComputeSccs(graph, &num_sccs);
+
+  // Group nodes per SCC and detect which SCCs contain a cycle.
+  std::vector<std::vector<int>> members(num_sccs);
+  for (int n = 0; n < graph.num_nodes(); ++n) members[scc[n]].push_back(n);
+
+  for (int target = 0; target < num_sccs; ++target) {
+    bool has_cycle = members[target].size() > 1;
+    if (!has_cycle) {
+      int only = members[target][0];
+      for (const KarpMiller::Edge& e : graph.edges(only)) {
+        if (e.target == only) {
+          has_cycle = true;
+          break;
+        }
+      }
+    }
+    if (!has_cycle) continue;
+
+    for (int n : members[target]) {
+      if (!accepting(graph.node_state(n))) continue;
+      std::vector<int> omega = OmegaDims(graph.node_marking(n));
+      std::optional<std::vector<int64_t>> loop;
+      if (omega.empty()) {
+        loop = FindAnyLoop(graph, scc, target, n);
+      } else {
+        // Iterative deepening on the effect clamp: short loops (the
+        // common case) are found without saturating the full effect
+        // lattice; the final round is exhaustive up to the configured
+        // bound.
+        for (int64_t bound = 2; !loop.has_value();) {
+          RepeatedReachabilityOptions round = options;
+          round.effect_bound = bound;
+          loop = FindNonNegLoop(graph, scc, target, n, omega, round);
+          if (bound >= options.effect_bound) break;
+          bound = std::min(bound * 4, options.effect_bound);
+        }
+      }
+      if (loop.has_value()) {
+        return LassoWitness{n, graph.PathLabels(n), std::move(*loop)};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace has

@@ -1,0 +1,46 @@
+// Repeated state reachability (lasso detection) on a Karp–Miller
+// coverability graph. A VASS state q is repeatedly reachable iff the
+// graph has a reachable node n carrying q that lies on a closed walk
+// whose net effect is ≥ 0 on every ω-coordinate (exact coordinates
+// return to the same value around any closed walk by construction).
+// Soundness and completeness of the criterion follow from the pumping
+// property of Karp–Miller trees and Dickson's lemma (cf. Habermehl's
+// coverability-graph model checking, the paper's reference [33]).
+//
+// The closed-walk search is exhaustive up to the configured effect
+// bound and step budget — exact for every system in this repository
+// and a documented knob for adversarial ones (DESIGN.md §2.3).
+#ifndef HAS_VASS_REPEATED_H_
+#define HAS_VASS_REPEATED_H_
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "vass/karp_miller.h"
+
+namespace has {
+
+struct LassoWitness {
+  int node = -1;                    ///< accepting coverability node
+  std::vector<int64_t> stem_labels; ///< tree path from a root to `node`
+  std::vector<int64_t> loop_labels; ///< closed walk through `node`
+};
+
+struct RepeatedReachabilityOptions {
+  /// Per-ω-dimension clamp on the tracked net effect during the closed
+  /// walk search (values saturate; larger = more complete).
+  int64_t effect_bound = 256;
+  /// Budget on search steps per SCC.
+  size_t max_steps = 1 << 22;
+};
+
+/// Finds a lasso through a node whose VASS state satisfies
+/// `accepting`; nullopt if none exists (within the search bounds).
+std::optional<LassoWitness> FindAcceptingLasso(
+    const KarpMiller& graph, const std::function<bool(int)>& accepting,
+    const RepeatedReachabilityOptions& options = {});
+
+}  // namespace has
+
+#endif  // HAS_VASS_REPEATED_H_

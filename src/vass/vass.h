@@ -1,0 +1,81 @@
+// Vector Addition Systems with States (Section 4.2). The verifier's
+// per-task products generate their transition relations on the fly, so
+// the analyses work against the VassSystem callback interface; an
+// explicit adjacency-list implementation is provided for tests and for
+// the undecidability-encoding example.
+//
+// Markings are vectors of int64 counters; the sentinel kOmega denotes
+// the accelerated "arbitrarily large" value of Karp–Miller trees.
+// Dimensions are allowed to grow during exploration (the verifier
+// allocates a counter per newly discovered TS-isomorphism type);
+// missing trailing coordinates read as 0.
+#ifndef HAS_VASS_VASS_H_
+#define HAS_VASS_VASS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace has {
+
+inline constexpr int64_t kOmega = INT64_MAX;
+
+/// A sparse delta: list of (dimension, change) pairs.
+using Delta = std::vector<std::pair<int, int64_t>>;
+
+/// An outgoing edge of a VASS state. `label` is an opaque tag the
+/// caller uses to reconstruct what the transition meant (the verifier
+/// stores an index into its transition table).
+struct VassEdge {
+  int target = -1;
+  Delta delta;
+  int64_t label = -1;
+};
+
+/// Callback interface: a (possibly implicit) VASS.
+class VassSystem {
+ public:
+  virtual ~VassSystem() = default;
+  /// Appends the outgoing edges of `state` to `out`.
+  virtual void Successors(int state, std::vector<VassEdge>* out) = 0;
+};
+
+/// Explicit VASS for tests and examples.
+class ExplicitVass : public VassSystem {
+ public:
+  explicit ExplicitVass(int num_states) : adj_(num_states) {}
+
+  int AddState() {
+    adj_.emplace_back();
+    return static_cast<int>(adj_.size() - 1);
+  }
+  int num_states() const { return static_cast<int>(adj_.size()); }
+
+  /// Adds an action (from, delta, to); returns its label.
+  int64_t AddAction(int from, Delta delta, int to);
+
+  void Successors(int state, std::vector<VassEdge>* out) override;
+
+ private:
+  std::vector<std::vector<VassEdge>> adj_;
+};
+
+/// Markings with ω, 0-padded comparison and addition helpers.
+namespace marking {
+
+/// m[d], treating out-of-range as 0.
+int64_t Get(const std::vector<int64_t>& m, int d);
+void Set(std::vector<int64_t>* m, int d, int64_t v);
+/// m + delta; returns false if any non-ω coordinate would go negative.
+bool Apply(const std::vector<int64_t>& m, const Delta& delta,
+           std::vector<int64_t>* out);
+/// Component-wise a ≤ b (ω is the top element).
+bool LessEq(const std::vector<int64_t>& a, const std::vector<int64_t>& b);
+bool Equal(const std::vector<int64_t>& a, const std::vector<int64_t>& b);
+std::string ToString(const std::vector<int64_t>& m);
+
+}  // namespace marking
+
+}  // namespace has
+
+#endif  // HAS_VASS_VASS_H_

@@ -1,0 +1,158 @@
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "arith/bigint.h"
+#include "arith/fourier_motzkin.h"
+#include "arith/rational.h"
+
+namespace has {
+namespace {
+
+TEST(BigIntTest, Arithmetic) {
+  BigInt a(1000000007);
+  BigInt b(998244353);
+  EXPECT_EQ((a + b).ToString(), "1998244360");
+  EXPECT_EQ((a - b).ToString(), "1755654");
+  EXPECT_EQ((b - a).ToString(), "-1755654");
+  EXPECT_EQ((a * b).ToString(), "998244359987710471");
+  EXPECT_EQ((a * b / b).ToString(), a.ToString());
+  EXPECT_EQ((a % b), a - b * (a / b));
+}
+
+TEST(BigIntTest, LargeMultiplication) {
+  BigInt a = BigInt::FromString("123456789012345678901234567890");
+  BigInt b = BigInt::FromString("987654321098765432109876543210");
+  EXPECT_EQ((a * b).ToString(),
+            "121932631137021795226185032733622923332237463801111263526900");
+  EXPECT_EQ(a * b / a, b);
+}
+
+TEST(BigIntTest, Comparisons) {
+  EXPECT_LT(BigInt(-5), BigInt(3));
+  EXPECT_LT(BigInt(-5), BigInt(-3));
+  EXPECT_GT(BigInt(100), BigInt(99));
+  EXPECT_EQ(BigInt(0), BigInt(0) * BigInt(-7));
+}
+
+TEST(BigIntTest, Gcd) {
+  EXPECT_EQ(BigInt::Gcd(BigInt(48), BigInt(-18)), BigInt(6));
+  EXPECT_EQ(BigInt::Gcd(BigInt(0), BigInt(5)), BigInt(5));
+}
+
+TEST(BigIntTest, FitsInt64) {
+  int64_t out = 0;
+  EXPECT_TRUE(BigInt(-42).FitsInt64(&out));
+  EXPECT_EQ(out, -42);
+  BigInt huge = BigInt::FromString("99999999999999999999999999");
+  EXPECT_FALSE(huge.FitsInt64(&out));
+}
+
+TEST(RationalTest, NormalizedArithmetic) {
+  Rational half(BigInt(1), BigInt(2));
+  Rational third(BigInt(1), BigInt(3));
+  EXPECT_EQ((half + third).ToString(), "5/6");
+  EXPECT_EQ((half * third).ToString(), "1/6");
+  EXPECT_EQ((half - half).ToString(), "0");
+  EXPECT_EQ((half / third).ToString(), "3/2");
+  EXPECT_LT(third, half);
+  EXPECT_EQ(Rational(BigInt(2), BigInt(-4)).ToString(), "-1/2");
+}
+
+TEST(RationalTest, FromDoubleExact) {
+  Rational r = Rational::FromDouble(0.5);
+  EXPECT_EQ(r, Rational(BigInt(1), BigInt(2)));
+  EXPECT_EQ(Rational::FromDouble(3.0), Rational(3));
+}
+
+LinearExpr Expr(std::vector<std::pair<int, int>> terms, int constant) {
+  LinearExpr e;
+  for (auto [v, c] : terms) e.AddTerm(v, Rational(c));
+  e.AddConstant(Rational(constant));
+  return e;
+}
+
+TEST(FourierMotzkinTest, SatisfiableBox) {
+  LinearSystem s;
+  s.Add(Expr({{0, -1}}, 0), Relop::kLe);      // -x <= 0
+  s.Add(Expr({{0, 1}}, -10), Relop::kLe);     // x <= 10
+  s.Add(Expr({{1, 1}, {0, -1}}, 0), Relop::kEq);  // y = x
+  EXPECT_TRUE(FourierMotzkin::IsSatisfiable(s));
+}
+
+TEST(FourierMotzkinTest, UnsatisfiableStrict) {
+  LinearSystem s;
+  s.Add(Expr({{0, 1}}, 0), Relop::kLt);   // x < 0
+  s.Add(Expr({{0, -1}}, 0), Relop::kLt);  // x > 0
+  EXPECT_FALSE(FourierMotzkin::IsSatisfiable(s));
+}
+
+TEST(FourierMotzkinTest, EqualityChainContradiction) {
+  LinearSystem s;
+  s.Add(Expr({{0, 1}, {1, -1}}, 0), Relop::kEq);  // x = y
+  s.Add(Expr({{1, 1}, {2, -1}}, 0), Relop::kEq);  // y = z
+  s.Add(Expr({{0, 1}, {2, -1}}, -1), Relop::kEq); // x = z + 1
+  EXPECT_FALSE(FourierMotzkin::IsSatisfiable(s));
+}
+
+TEST(FourierMotzkinTest, ProjectionKeepsImpliedBound) {
+  // x <= y, y <= z  projected onto {x, z} must imply x <= z.
+  LinearSystem s;
+  s.Add(Expr({{0, 1}, {1, -1}}, 0), Relop::kLe);
+  s.Add(Expr({{1, 1}, {2, -1}}, 0), Relop::kLe);
+  LinearSystem p = FourierMotzkin::Project(s, {0, 2});
+  EXPECT_TRUE(FourierMotzkin::Entails(
+      p, LinearConstraint{Expr({{0, 1}, {2, -1}}, 0), Relop::kLe}));
+  // But nothing stronger.
+  EXPECT_FALSE(FourierMotzkin::Entails(
+      p, LinearConstraint{Expr({{0, 1}, {2, -1}}, 0), Relop::kLt}));
+}
+
+TEST(FourierMotzkinTest, EntailsEquality) {
+  LinearSystem s;
+  s.Add(Expr({{0, 1}}, -3), Relop::kLe);   // x <= 3
+  s.Add(Expr({{0, -1}}, 3), Relop::kLe);   // x >= 3
+  EXPECT_TRUE(FourierMotzkin::Entails(
+      s, LinearConstraint{Expr({{0, 1}}, -3), Relop::kEq}));
+}
+
+TEST(FourierMotzkinTest, Disequalities) {
+  // 0 <= x <= 1 with x != 0 and x != 1 is satisfiable over Q...
+  LinearSystem s;
+  s.Add(Expr({{0, -1}}, 0), Relop::kLe);
+  s.Add(Expr({{0, 1}}, -1), Relop::kLe);
+  EXPECT_TRUE(FourierMotzkin::IsSatisfiableWithDisequalities(
+      s, {Expr({{0, 1}}, 0), Expr({{0, 1}}, -1)}));
+  // ... but x = 0 forced plus x != 0 is not.
+  LinearSystem t;
+  t.Add(Expr({{0, 1}}, 0), Relop::kEq);
+  EXPECT_FALSE(FourierMotzkin::IsSatisfiableWithDisequalities(
+      t, {Expr({{0, 1}}, 0)}));
+}
+
+class FmRandomSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FmRandomSweep, ProjectionSoundOnRandomSystems) {
+  // Property: if the original system is satisfiable, the projection is
+  // satisfiable; if the projection is unsat, so is the original.
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<int> coef(-3, 3);
+  for (int round = 0; round < 20; ++round) {
+    LinearSystem s;
+    for (int c = 0; c < 5; ++c) {
+      LinearExpr e;
+      for (int v = 0; v < 4; ++v) e.AddTerm(v, Rational(coef(rng)));
+      e.AddConstant(Rational(coef(rng)));
+      s.Add(std::move(e), round % 2 == 0 ? Relop::kLe : Relop::kLt);
+    }
+    bool sat = FourierMotzkin::IsSatisfiable(s);
+    LinearSystem p = FourierMotzkin::Project(s, {0, 1});
+    bool proj_sat = FourierMotzkin::IsSatisfiable(p);
+    EXPECT_EQ(sat, proj_sat);  // ∃-projection preserves satisfiability
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FmRandomSweep, ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace has

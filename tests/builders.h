@@ -1,0 +1,100 @@
+// Shared miniature systems for tests.
+#ifndef HAS_TESTS_BUILDERS_H_
+#define HAS_TESTS_BUILDERS_H_
+
+#include "hltl/hltl.h"
+#include "model/artifact_system.h"
+
+namespace has {
+namespace testing {
+
+/// One root task with two ID vars over a single relation R(id, fk->R2)
+/// and a toggle service; optionally an artifact relation over {x}.
+///   service pick:  pre x == null, post R(x, y)
+///   service drop:  pre x != null, post x == null && y == null
+inline ArtifactSystem FlatSystem(bool with_set) {
+  ArtifactSystem system;
+  RelationId r2 = system.schema().AddRelation("R2");
+  RelationId r = system.schema().AddRelation("R");
+  (void)r2;
+  system.schema().relation(r).AddForeignKey("fk", r2);
+  TaskId root = system.AddTask("Main", kNoTask);
+  Task& t = system.task(root);
+  int x = t.vars().AddVar("x", VarSort::kId);
+  int y = t.vars().AddVar("y", VarSort::kId);
+  if (with_set) t.DeclareSet({x});
+  {
+    InternalService pick;
+    pick.name = "pick";
+    pick.pre = Condition::IsNull(x);
+    pick.post = Condition::Rel(r, {x, y});
+    if (with_set) pick.inserts = true;
+    t.AddInternalService(std::move(pick));
+  }
+  {
+    InternalService drop;
+    drop.name = "drop";
+    drop.pre = Condition::Not(Condition::IsNull(x));
+    drop.post = Condition::And(Condition::IsNull(x), Condition::IsNull(y));
+    if (with_set) drop.retrieves = true;
+    t.AddInternalService(std::move(drop));
+  }
+  return system;
+}
+
+/// Parent/child: the parent passes x to a child that must set its flag
+/// to 1 before closing; the flag returns into the parent's `got`.
+inline ArtifactSystem ParentChildSystem() {
+  ArtifactSystem system;
+  RelationId r = system.schema().AddRelation("R");
+  (void)r;
+  TaskId root = system.AddTask("Parent", kNoTask);
+  Task& parent = system.task(root);
+  int x = parent.vars().AddVar("x", VarSort::kId);
+  int got = parent.vars().AddVar("got", VarSort::kNumeric);
+  {
+    InternalService pick;
+    pick.name = "pick";
+    pick.pre = Condition::IsNull(x);
+    pick.post = Condition::And(Condition::Rel(0, {x}),
+                               Condition::VarEq(got, got));
+    parent.AddInternalService(std::move(pick));
+  }
+  TaskId child_id = system.AddTask("Child", root);
+  Task& child = system.task(child_id);
+  int cx = child.vars().AddVar("cx", VarSort::kId);
+  int flag = child.vars().AddVar("flag", VarSort::kNumeric);
+  child.AddInput(cx, x);
+  child.AddOutput(got, flag);
+  child.SetOpeningPre(Condition::Not(Condition::IsNull(x)));
+  {
+    LinearExpr e = LinearExpr::Var(flag);
+    e.AddConstant(Rational(-1));
+    child.SetClosingPre(
+        Condition::Arith(LinearConstraint{e, Relop::kEq}));
+    InternalService work;
+    work.name = "work";
+    work.pre = Condition::True();
+    LinearExpr e2 = LinearExpr::Var(flag);
+    e2.AddConstant(Rational(-1));
+    work.post = Condition::Arith(LinearConstraint{e2, Relop::kEq});
+    child.AddInternalService(std::move(work));
+  }
+  return system;
+}
+
+/// Property [G cond]@root as a one-node HltlProperty.
+inline HltlProperty AlwaysProperty(TaskId task, CondPtr cond) {
+  HltlProperty property;
+  HltlNode node;
+  node.task = task;
+  node.props.push_back(HltlProp::Cond(std::move(cond)));
+  node.skeleton = LtlFormula::Always(LtlFormula::Prop(0));
+  property.AddNode(std::move(node));
+  return property;
+}
+
+}  // namespace testing
+}  // namespace has
+
+#endif  // HAS_TESTS_BUILDERS_H_

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "arith/cell.h"
+#include "arith/hcd.h"
+
+namespace has {
+namespace {
+
+LinearExpr Expr(std::vector<std::pair<int, int>> terms, int constant) {
+  LinearExpr e;
+  for (auto [v, c] : terms) e.AddTerm(v, Rational(c));
+  e.AddConstant(Rational(constant));
+  return e;
+}
+
+TEST(PolyBasisTest, DeduplicatesUpToScaling) {
+  PolyBasis basis;
+  int a = basis.Add(Expr({{0, 1}, {1, -1}}, 0));      // x - y
+  int b = basis.Add(Expr({{0, 2}, {1, -2}}, 0));      // 2x - 2y
+  int c = basis.Add(Expr({{0, -1}, {1, 1}}, 0));      // y - x
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);  // same hyperplane direction after canonicalization
+  EXPECT_EQ(basis.size(), 1);
+  bool negated = false;
+  EXPECT_EQ(basis.Find(Expr({{0, -3}, {1, 3}}, 0), &negated), a);
+  EXPECT_TRUE(negated);
+}
+
+TEST(CellTest, OneLineThreeCells) {
+  PolyBasis basis;
+  basis.Add(Expr({{0, 1}}, 0));  // x
+  EXPECT_EQ(CountNonEmptyCells(basis), 3);  // x<0, x=0, x>0
+}
+
+TEST(CellTest, TwoParallelLinesFiveCells) {
+  PolyBasis basis;
+  basis.Add(Expr({{0, 1}}, 0));    // x
+  basis.Add(Expr({{0, 1}}, -1));   // x - 1
+  // cells: x<0 | x=0 | 0<x<1 | x=1 | x>1  (combinations like x<0 ∧ x=1
+  // are pruned as empty)
+  EXPECT_EQ(CountNonEmptyCells(basis), 5);
+}
+
+TEST(CellTest, TwoCrossingLinesNineCells) {
+  PolyBasis basis;
+  basis.Add(Expr({{0, 1}}, 0));  // x
+  basis.Add(Expr({{1, 1}}, 0));  // y
+  EXPECT_EQ(CountNonEmptyCells(basis), 9);
+}
+
+TEST(CellTest, RefinementAndRestriction) {
+  PolyBasis basis;
+  int p = basis.Add(Expr({{0, 1}}, 0));
+  int q = basis.Add(Expr({{1, 1}}, 0));
+  Cell full(2);
+  full.set_sign(p, kSignPos);
+  full.set_sign(q, kSignNeg);
+  Cell partial(2);
+  partial.set_sign(p, kSignPos);
+  EXPECT_TRUE(full.RefinesOn(partial, {p, q}));
+  EXPECT_FALSE(partial.RefinesOn(full, {p, q}));
+  Cell restricted = full.RestrictTo({p});
+  EXPECT_EQ(restricted.sign(q), kSignAny);
+  EXPECT_EQ(restricted.sign(p), kSignPos);
+}
+
+TEST(CellTest, NonEmptinessWithExtraSystem) {
+  PolyBasis basis;
+  int p = basis.Add(Expr({{0, 1}}, 0));  // x
+  Cell cell(1);
+  cell.set_sign(p, kSignPos);  // x > 0
+  LinearSystem extra;
+  extra.Add(Expr({{0, 1}}, 1), Relop::kLe);  // x <= -1
+  EXPECT_TRUE(cell.IsNonEmpty(basis));
+  EXPECT_FALSE(cell.IsNonEmptyWith(basis, extra));
+}
+
+TEST(HcdTest, ArrangementProjectionCoversCombination) {
+  // Child polys: x - z and z - y (z local). Projection must contain the
+  // combination x - y.
+  std::vector<LinearExpr> polys = {Expr({{0, 1}, {2, -1}}, 0),
+                                   Expr({{2, 1}, {1, -1}}, 0)};
+  std::vector<LinearExpr> projected = ProjectArrangement(polys, 2);
+  ASSERT_EQ(projected.size(), 1u);
+  PolyBasis check;
+  check.Add(projected[0]);
+  bool negated = false;
+  EXPECT_NE(check.Find(Expr({{0, 1}, {1, -1}}, 0), &negated), -1);
+}
+
+TEST(HcdTest, BuildPropagatesChildPolys) {
+  // Node 1 (child) constrains its local variable 0 against shared
+  // variable 1; shared maps to parent variable 0.
+  std::vector<HcdNode> nodes(2);
+  nodes[0].children = {1};
+  nodes[0].child_var_to_parent = {{{1, 0}}};
+  nodes[1].own_polys = {Expr({{0, 1}, {1, -1}}, 0),   // local - shared
+                        Expr({{0, 1}}, -5)};          // local - 5
+  Hcd hcd = Hcd::Build(nodes, 0);
+  // Eliminating the child-local variable combines the two into
+  // shared - 5, renamed to parent var 0.
+  bool negated = false;
+  EXPECT_NE(hcd.basis(0).Find(Expr({{0, 1}}, -5), &negated), -1);
+  EXPECT_GE(hcd.TotalPolys(), 3);
+}
+
+class CellCountSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CellCountSweep, MatchesArrangementFormulaInOneDim) {
+  // n distinct points on a line make 2n + 1 cells.
+  const int n = GetParam();
+  PolyBasis basis;
+  for (int i = 0; i < n; ++i) basis.Add(Expr({{0, 1}}, -i));
+  EXPECT_EQ(CountNonEmptyCells(basis), 2 * n + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lines, CellCountSweep, ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace has

@@ -1,0 +1,92 @@
+// Cross-validation of the symbolic verifier against the concrete
+// semantics: when the verifier reports VIOLATED, the randomized bounded
+// checker must be able to exhibit a concrete tree satisfying the
+// negated property on some database; when it reports HOLDS, no
+// simulated tree may satisfy the negation.
+#include <gtest/gtest.h>
+
+#include "builders.h"
+#include "core/verifier.h"
+#include "data/generator.h"
+#include "runs/bounded_checker.h"
+
+namespace has {
+namespace {
+
+struct Case {
+  std::string name;
+  bool with_set;
+  HltlProperty property;
+};
+
+std::vector<Case> MakeCases() {
+  std::vector<Case> cases;
+  {
+    Case c;
+    c.name = "x_stays_null (violated)";
+    c.with_set = false;
+    c.property = testing::AlwaysProperty(0, Condition::IsNull(0));
+    cases.push_back(std::move(c));
+  }
+  {
+    Case c;
+    c.name = "tautology (holds)";
+    c.with_set = false;
+    c.property = testing::AlwaysProperty(
+        0, Condition::Or(Condition::IsNull(0),
+                         Condition::Not(Condition::IsNull(0))));
+    cases.push_back(std::move(c));
+  }
+  {
+    Case c;
+    c.name = "x_y_never_both (violated: pick relates them)";
+    c.with_set = false;
+    c.property = testing::AlwaysProperty(
+        0, Condition::Or(Condition::IsNull(0), Condition::IsNull(1)));
+    cases.push_back(std::move(c));
+  }
+  return cases;
+}
+
+class CrossValidation : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrossValidation, SymbolicAgreesWithConcrete) {
+  Case c = std::move(MakeCases()[static_cast<size_t>(GetParam())]);
+  ArtifactSystem system = testing::FlatSystem(c.with_set);
+  VerifyResult symbolic = Verify(system, c.property);
+  ASSERT_NE(symbolic.verdict, Verdict::kInconclusive) << c.name;
+
+  GeneratorOptions gen;
+  gen.tuples_per_relation = 3;
+  DatabaseInstance db = GenerateInstance(system.schema(), gen);
+  HltlProperty negated = c.property.Negated();
+  std::optional<RunTree> concrete =
+      FindTreeSatisfying(system, db, negated, 120);
+
+  if (symbolic.verdict == Verdict::kHolds) {
+    EXPECT_FALSE(concrete.has_value())
+        << c.name << ": concrete counterexample but symbolic HOLDS";
+  } else {
+    EXPECT_TRUE(concrete.has_value())
+        << c.name << ": symbolic VIOLATED but no concrete witness found";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, CrossValidation, ::testing::Range(0, 3));
+
+TEST(CrossValidation, HierarchicalViolationHasConcreteWitness) {
+  ArtifactSystem system = testing::ParentChildSystem();
+  LinearExpr e = LinearExpr::Var(1);
+  HltlProperty property = testing::AlwaysProperty(
+      0, Condition::Arith(LinearConstraint{e, Relop::kEq}));  // got == 0
+  VerifyResult symbolic = Verify(system, property);
+  ASSERT_EQ(symbolic.verdict, Verdict::kViolated);
+  GeneratorOptions gen;
+  DatabaseInstance db = GenerateInstance(system.schema(), gen);
+  std::optional<RunTree> witness =
+      FindTreeSatisfying(system, db, property.Negated(), 200);
+  EXPECT_TRUE(witness.has_value());
+}
+
+}  // namespace
+}  // namespace has

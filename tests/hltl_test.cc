@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "builders.h"
+#include "hltl/assignments.h"
+
+namespace has {
+namespace {
+
+HltlProperty ParentChildProperty(const ArtifactSystem& system) {
+  // [ G(open(Child) -> [F flag==1]@Child) ]@Parent
+  HltlProperty property;
+  HltlNode root;
+  root.task = system.root();
+  HltlNode child;
+  child.task = 1;
+  LinearExpr e = LinearExpr::Var(1);
+  e.AddConstant(Rational(-1));
+  child.props.push_back(
+      HltlProp::Cond(Condition::Arith(LinearConstraint{e, Relop::kEq})));
+  child.skeleton = LtlFormula::Eventually(LtlFormula::Prop(0));
+  // Assemble root-first.
+  root.props.push_back(HltlProp::Service(ServiceRef::Opening(1)));
+  root.props.push_back(HltlProp::Child(1));
+  root.skeleton = LtlFormula::Always(LtlFormula::Implies(
+      LtlFormula::Prop(0), LtlFormula::Prop(1)));
+  property.AddNode(std::move(root));
+  property.AddNode(std::move(child));
+  return property;
+}
+
+TEST(HltlTest, ValidatesAgainstSystem) {
+  ArtifactSystem system = testing::ParentChildSystem();
+  HltlProperty property = ParentChildProperty(system);
+  EXPECT_TRUE(property.Validate(system).ok());
+  EXPECT_EQ(property.NodesOfTask(0), std::vector<int>{0});
+  EXPECT_EQ(property.NodesOfTask(1), std::vector<int>{1});
+}
+
+TEST(HltlTest, RejectsNonChildReference) {
+  ArtifactSystem system = testing::ParentChildSystem();
+  HltlProperty property;
+  HltlNode root;
+  root.task = 0;
+  root.props.push_back(HltlProp::Child(1));
+  root.skeleton = LtlFormula::Prop(0);
+  property.AddNode(std::move(root));
+  HltlNode bogus;
+  bogus.task = 0;  // same task: not a child of itself
+  bogus.skeleton = LtlFormula::True();
+  property.AddNode(std::move(bogus));
+  EXPECT_FALSE(property.Validate(system).ok());
+}
+
+TEST(HltlTest, NegationOnlyTouchesRoot) {
+  ArtifactSystem system = testing::ParentChildSystem();
+  HltlProperty property = ParentChildProperty(system);
+  HltlProperty negated = property.Negated();
+  EXPECT_EQ(negated.node(0).skeleton->kind(), LtlKind::kNot);
+  EXPECT_EQ(negated.node(1).skeleton->ToString(),
+            property.node(1).skeleton->ToString());
+}
+
+TEST(TaskAutomataTest, PropInterningSharesTable) {
+  ArtifactSystem system = testing::ParentChildSystem();
+  HltlProperty property = ParentChildProperty(system);
+  PropertyAutomata automata(&system, &property);
+  TaskAutomata& parent = automata.ForTask(0);
+  EXPECT_EQ(parent.phi_nodes().size(), 1u);
+  EXPECT_EQ(parent.num_assignments(), 2);
+  EXPECT_EQ(parent.AssignmentBit(0), 0);
+  EXPECT_EQ(parent.AssignmentBit(1), -1);
+  // Child formula + service props interned.
+  EXPECT_EQ(parent.props().size(), 2u);
+}
+
+TEST(TaskAutomataTest, AutomataCachedPerAssignment) {
+  ArtifactSystem system = testing::ParentChildSystem();
+  HltlProperty property = ParentChildProperty(system);
+  PropertyAutomata automata(&system, &property);
+  TaskAutomata& child = automata.ForTask(1);
+  const BuchiAutomaton& b1 = child.automaton(1);
+  const BuchiAutomaton& b1_again = child.automaton(1);
+  EXPECT_EQ(&b1, &b1_again);
+  const BuchiAutomaton& b0 = child.automaton(0);
+  EXPECT_NE(&b1, &b0);
+  EXPECT_GT(b1.num_states(), 0);
+}
+
+TEST(TaskAutomataTest, AssignmentAutomatonAcceptsMatchingWords) {
+  ArtifactSystem system = testing::ParentChildSystem();
+  HltlProperty property = ParentChildProperty(system);
+  PropertyAutomata automata(&system, &property);
+  TaskAutomata& child = automata.ForTask(1);
+  // β = 1: the node [F flag==1] must hold: finite word where prop 0
+  // (the condition) eventually holds.
+  const BuchiAutomaton& yes = child.automaton(1);
+  EXPECT_TRUE(yes.AcceptsFinite({{false}, {true}}));
+  EXPECT_FALSE(yes.AcceptsFinite({{false}, {false}}));
+  // β = 0 is the negation.
+  const BuchiAutomaton& no = child.automaton(0);
+  EXPECT_FALSE(no.AcceptsFinite({{false}, {true}}));
+  EXPECT_TRUE(no.AcceptsFinite({{false}, {false}}));
+}
+
+}  // namespace
+}  // namespace has

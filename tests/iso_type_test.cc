@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "core/iso_type.h"
+
+namespace has {
+namespace {
+
+struct Fixture {
+  DatabaseSchema schema;
+  VarScope scope;
+  RelationId r2, r;
+  int x, y, n;
+
+  Fixture() {
+    r2 = schema.AddRelation("R2");
+    r = schema.AddRelation("R");
+    schema.relation(r).AddForeignKey("fk", r2);
+    schema.relation(r).AddNumericAttribute("val");
+    x = scope.AddVar("x", VarSort::kId);
+    y = scope.AddVar("y", VarSort::kId);
+    n = scope.AddVar("n", VarSort::kNumeric);
+  }
+
+  PartialIsoType Fresh() { return PartialIsoType(&schema, &scope, 3); }
+};
+
+TEST(IsoTypeTest, EqualityAndDisequality) {
+  Fixture f;
+  PartialIsoType t = f.Fresh();
+  int ex = t.VarElement(f.x);
+  int ey = t.VarElement(f.y);
+  EXPECT_TRUE(t.AssertEq(ex, ey));
+  EXPECT_TRUE(t.Same(ex, ey));
+  EXPECT_FALSE(t.AssertNeq(ex, ey));  // contradiction
+}
+
+TEST(IsoTypeTest, NullTagPropagates) {
+  Fixture f;
+  PartialIsoType t = f.Fresh();
+  int ex = t.VarElement(f.x);
+  ASSERT_TRUE(t.AssertEq(ex, t.NullElement()));
+  EXPECT_TRUE(t.IsNullTagged(ex));
+  // A null variable cannot be anchored.
+  EXPECT_FALSE(t.AssertAnchor(ex, f.r));
+}
+
+TEST(IsoTypeTest, AnchorConflicts) {
+  Fixture f;
+  PartialIsoType t = f.Fresh();
+  int ex = t.VarElement(f.x);
+  ASSERT_TRUE(t.AssertAnchor(ex, f.r));
+  EXPECT_FALSE(t.AssertAnchor(ex, f.r2));
+  // Anchored variables can't be null.
+  EXPECT_FALSE(t.AssertEq(ex, t.NullElement()));
+}
+
+TEST(IsoTypeTest, ConstTags) {
+  Fixture f;
+  PartialIsoType t = f.Fresh();
+  int en = t.VarElement(f.n);
+  ASSERT_TRUE(t.AssertEq(en, t.ConstElement(Rational(5))));
+  EXPECT_EQ(*t.ConstOf(en), Rational(5));
+  EXPECT_FALSE(t.AssertEq(en, t.ConstElement(Rational(6))));
+}
+
+TEST(IsoTypeTest, CongruenceClosure) {
+  // x ~ y and both anchored at R forces x.fk ~ y.fk (the key
+  // dependency of Definition 15).
+  Fixture f;
+  PartialIsoType t = f.Fresh();
+  int ex = t.VarElement(f.x);
+  int ey = t.VarElement(f.y);
+  ASSERT_TRUE(t.AssertAnchor(ex, f.r));
+  ASSERT_TRUE(t.AssertAnchor(ey, f.r));
+  int cx = t.NavChild(ex, 1);  // x.fk
+  int cy = t.NavChild(ey, 1);  // y.fk
+  ASSERT_NE(cx, -1);
+  ASSERT_NE(cy, -1);
+  EXPECT_FALSE(t.Same(cx, cy));
+  ASSERT_TRUE(t.AssertEq(ex, ey));
+  EXPECT_TRUE(t.Same(cx, cy));  // congruence fired
+}
+
+TEST(IsoTypeTest, CongruenceDetectsContradiction) {
+  Fixture f;
+  PartialIsoType t = f.Fresh();
+  int ex = t.VarElement(f.x);
+  int ey = t.VarElement(f.y);
+  ASSERT_TRUE(t.AssertAnchor(ex, f.r));
+  ASSERT_TRUE(t.AssertAnchor(ey, f.r));
+  int cx = t.NavChild(ex, 1);
+  int cy = t.NavChild(ey, 1);
+  ASSERT_TRUE(t.AssertNeq(cx, cy));  // children differ
+  EXPECT_FALSE(t.AssertEq(ex, ey));  // so parents can't be equal
+}
+
+TEST(IsoTypeTest, DecideRelAtom) {
+  Fixture f;
+  PartialIsoType t = f.Fresh();
+  CondPtr atom = Condition::Rel(f.r, {f.x, f.y, f.n});
+  ASSERT_TRUE(t.DecideAtom(*atom, true));
+  EXPECT_EQ(t.EvalAtom(*atom), Truth::kTrue);
+  // Negative atom on the same pattern now contradicts.
+  PartialIsoType t2 = f.Fresh();
+  ASSERT_TRUE(t2.DecideAtom(*atom, false));
+  EXPECT_FALSE(t2.DecideAtom(*atom, true));
+}
+
+TEST(IsoTypeTest, EvalUnknownWhenUndecided) {
+  Fixture f;
+  PartialIsoType t = f.Fresh();
+  CondPtr eq = Condition::VarEq(f.x, f.y);
+  EXPECT_EQ(t.EvalAtom(*eq), Truth::kUnknown);
+  ASSERT_TRUE(t.DecideAtom(*eq, false));
+  EXPECT_EQ(t.EvalAtom(*eq), Truth::kFalse);
+}
+
+TEST(IsoTypeTest, SignatureCanonicalAcrossOrder) {
+  Fixture f;
+  PartialIsoType a = f.Fresh();
+  PartialIsoType b = f.Fresh();
+  // Same constraints in different creation orders.
+  ASSERT_TRUE(a.AssertEq(a.VarElement(f.x), a.VarElement(f.y)));
+  ASSERT_TRUE(a.AssertEq(a.VarElement(f.n), a.ConstElement(Rational(2))));
+  ASSERT_TRUE(b.AssertEq(b.VarElement(f.n), b.ConstElement(Rational(2))));
+  ASSERT_TRUE(b.AssertEq(b.VarElement(f.y), b.VarElement(f.x)));
+  a.Normalize();
+  b.Normalize();
+  EXPECT_EQ(a.Signature(), b.Signature());
+}
+
+TEST(IsoTypeTest, ProjectionForgetsOtherVars) {
+  Fixture f;
+  PartialIsoType t = f.Fresh();
+  ASSERT_TRUE(t.DecideAtom(*Condition::VarEq(f.x, f.y), true));
+  ASSERT_TRUE(t.DecideAtom(*Condition::IsNull(f.y), false));
+  PartialIsoType p = t.Project({f.x}, 3);
+  // y is gone; x's class survives.
+  EXPECT_EQ(p.LookupVar(f.y), -1);
+  EXPECT_NE(p.LookupVar(f.x), -1);
+}
+
+TEST(IsoTypeTest, RenameMovesConstraints) {
+  Fixture f;
+  PartialIsoType t = f.Fresh();
+  ASSERT_TRUE(t.DecideAtom(*Condition::IsNull(f.x), true));
+  VarScope other;
+  int z = other.AddVar("z", VarSort::kId);
+  PartialIsoType r = t.Rename({{f.x, z}}, &other);
+  EXPECT_TRUE(r.VarIsNull(z));
+}
+
+TEST(IsoTypeTest, MergeDetectsConflicts) {
+  Fixture f;
+  PartialIsoType a = f.Fresh();
+  PartialIsoType b = f.Fresh();
+  ASSERT_TRUE(a.DecideAtom(*Condition::IsNull(f.x), true));
+  ASSERT_TRUE(b.DecideAtom(*Condition::IsNull(f.x), false));
+  EXPECT_FALSE(a.MergeFrom(b));
+}
+
+TEST(IsoTypeTest, ForgetVarDropsConstraints) {
+  Fixture f;
+  PartialIsoType t = f.Fresh();
+  ASSERT_TRUE(t.DecideAtom(*Condition::IsNull(f.x), true));
+  t.ForgetVar(f.x);
+  EXPECT_EQ(t.EvalAtom(*Condition::IsNull(f.x)), Truth::kUnknown);
+}
+
+TEST(IsoTypeTest, NormalizeDropsUnconstrainedNav) {
+  Fixture f;
+  PartialIsoType t = f.Fresh();
+  int ex = t.VarElement(f.x);
+  ASSERT_TRUE(t.AssertAnchor(ex, f.r));
+  t.NavChild(ex, 1);  // singleton nav child, no info
+  int before = t.num_elements();
+  t.Normalize();
+  EXPECT_LT(t.num_elements(), before);
+}
+
+}  // namespace
+}  // namespace has

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "ltl/formula.h"
+
+namespace has {
+namespace {
+
+using W = std::vector<std::vector<bool>>;
+
+TEST(LtlTest, FiniteSemanticsBasics) {
+  LtlPtr p = LtlFormula::Prop(0);
+  // word: p, !p, p
+  W word = {{true}, {false}, {true}};
+  EXPECT_TRUE(p->EvalFinite(word));
+  EXPECT_TRUE(LtlFormula::Next(LtlFormula::Not(p))->EvalFinite(word));
+  EXPECT_TRUE(LtlFormula::Eventually(p)->EvalFinite(word, 1));
+  EXPECT_FALSE(LtlFormula::Always(p)->EvalFinite(word));
+  EXPECT_TRUE(LtlFormula::Always(p)->EvalFinite({{true}, {true}}));
+}
+
+TEST(LtlTest, StrongNextAtLastPosition) {
+  LtlPtr p = LtlFormula::Prop(0);
+  W word = {{true}};
+  // X p is false at the last position (no successor).
+  EXPECT_FALSE(LtlFormula::Next(p)->EvalFinite(word));
+  // But !X p holds.
+  EXPECT_TRUE(LtlFormula::Not(LtlFormula::Next(p))->EvalFinite(word));
+}
+
+TEST(LtlTest, UntilOnFiniteWords) {
+  LtlPtr p = LtlFormula::Prop(0);
+  LtlPtr q = LtlFormula::Prop(1);
+  LtlPtr u = LtlFormula::Until(p, q);
+  EXPECT_TRUE(u->EvalFinite({{true, false}, {true, false}, {false, true}}));
+  // q never holds: until fails even though p always holds.
+  EXPECT_FALSE(u->EvalFinite({{true, false}, {true, false}}));
+  // immediate q.
+  EXPECT_TRUE(u->EvalFinite({{false, true}}));
+}
+
+TEST(LtlTest, LassoSemantics) {
+  LtlPtr p = LtlFormula::Prop(0);
+  // prefix: !p; loop: p !p — G F p holds, F G p fails.
+  W prefix = {{false}};
+  W loop = {{true}, {false}};
+  LtlPtr gfp = LtlFormula::Always(LtlFormula::Eventually(p));
+  EXPECT_TRUE(gfp->EvalLasso(prefix, loop));
+  LtlPtr fgp = LtlFormula::Eventually(LtlFormula::Always(p));
+  EXPECT_FALSE(fgp->EvalLasso(prefix, loop));
+  // On the constant loop p^ω both hold.
+  EXPECT_TRUE(gfp->EvalLasso({}, {{true}}));
+  EXPECT_TRUE(fgp->EvalLasso({}, {{true}}));
+}
+
+TEST(LtlTest, LassoUntil) {
+  LtlPtr p = LtlFormula::Prop(0);
+  LtlPtr q = LtlFormula::Prop(1);
+  // p until q where q appears in the second loop iteration unrolling.
+  W prefix = {{true, false}};
+  W loop = {{true, false}, {false, true}};
+  EXPECT_TRUE(LtlFormula::Until(p, q)->EvalLasso(prefix, loop));
+  // p fails before q ever holds.
+  W loop2 = {{false, false}, {false, true}};
+  EXPECT_FALSE(LtlFormula::Until(p, q)->EvalLasso(prefix, loop2));
+}
+
+TEST(LtlTest, ToStringReadable) {
+  LtlPtr f = LtlFormula::Until(LtlFormula::Prop(0),
+                               LtlFormula::Not(LtlFormula::Prop(1)));
+  EXPECT_EQ(f->ToString(), "(p0 U !p1)");
+  EXPECT_EQ(f->MaxProp(), 1);
+}
+
+}  // namespace
+}  // namespace has

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "builders.h"
+#include "model/validate.h"
+
+namespace has {
+namespace {
+
+TEST(ModelTest, FlatSystemValidates) {
+  ArtifactSystem system = testing::FlatSystem(true);
+  EXPECT_TRUE(ValidateSystem(system).ok());
+  EXPECT_EQ(system.num_tasks(), 1);
+  EXPECT_EQ(system.Depth(), 1);
+}
+
+TEST(ModelTest, ParentChildValidates) {
+  ArtifactSystem system = testing::ParentChildSystem();
+  EXPECT_TRUE(ValidateSystem(system).ok());
+  EXPECT_EQ(system.Depth(), 2);
+  EXPECT_EQ(system.PreOrder(), (std::vector<TaskId>{0, 1}));
+  EXPECT_EQ(system.PostOrder(), (std::vector<TaskId>{1, 0}));
+}
+
+TEST(ModelTest, ObservableServices) {
+  ArtifactSystem system = testing::ParentChildSystem();
+  std::vector<ServiceRef> obs = system.ObservableServices(0);
+  // 1 internal + open/close self + open/close child.
+  EXPECT_EQ(obs.size(), 5u);
+  EXPECT_EQ(system.ServiceName(ServiceRef::Internal(0, 0)), "Parent.pick");
+  EXPECT_EQ(system.ServiceName(ServiceRef::Opening(1)), "open(Child)");
+}
+
+TEST(ModelTest, SizeMeasurePositive) {
+  EXPECT_GT(testing::ParentChildSystem().SizeMeasure(), 5);
+}
+
+TEST(ValidateTest, NumericSetVariableRejected) {
+  ArtifactSystem system = testing::FlatSystem(false);
+  Task& t = system.task(0);
+  int n = t.vars().AddVar("n", VarSort::kNumeric);
+  t.DeclareSet({n});
+  EXPECT_FALSE(ValidateSystem(system).ok());
+}
+
+TEST(ValidateTest, SetUpdateWithoutSetRejected) {
+  ArtifactSystem system = testing::FlatSystem(false);
+  InternalService bad;
+  bad.name = "bad";
+  bad.pre = Condition::True();
+  bad.post = Condition::True();
+  bad.inserts = true;
+  system.task(0).AddInternalService(std::move(bad));
+  EXPECT_FALSE(ValidateSystem(system).ok());
+}
+
+TEST(ValidateTest, ReturnTargetMustNotBeParentInput) {
+  // Restriction 3: a parent variable cannot be both parent input and a
+  // child return target.
+  ArtifactSystem system;
+  system.schema().AddRelation("R");
+  TaskId root = system.AddTask("Root", kNoTask);
+  int rx = system.task(root).vars().AddVar("rx", VarSort::kId);
+  system.task(root).AddInput(rx, -1);  // root input
+  TaskId child = system.AddTask("Child", root);
+  int cx = system.task(child).vars().AddVar("cx", VarSort::kId);
+  system.task(child).AddOutput(rx, cx);  // returns into the root input
+  EXPECT_FALSE(ValidateSystem(system).ok());
+}
+
+TEST(ValidateTest, SortMismatchInMappingRejected) {
+  ArtifactSystem system;
+  system.schema().AddRelation("R");
+  TaskId root = system.AddTask("Root", kNoTask);
+  int rx = system.task(root).vars().AddVar("rx", VarSort::kId);
+  TaskId child = system.AddTask("Child", root);
+  int cn = system.task(child).vars().AddVar("cn", VarSort::kNumeric);
+  system.task(child).AddInput(cn, rx);  // numeric <- id
+  EXPECT_FALSE(ValidateSystem(system).ok());
+}
+
+TEST(ValidateTest, RootMustNotReturn) {
+  ArtifactSystem system = testing::FlatSystem(false);
+  system.task(0).AddOutput(0, 0);
+  EXPECT_FALSE(ValidateSystem(system).ok());
+}
+
+TEST(ValidateTest, GlobalPreOverNonInputRejected) {
+  ArtifactSystem system = testing::FlatSystem(false);
+  // Π mentions x which is not declared as a root input.
+  system.SetGlobalPre(Condition::IsNull(0));
+  EXPECT_FALSE(ValidateSystem(system).ok());
+}
+
+}  // namespace
+}  // namespace has

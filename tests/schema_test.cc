@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+#include "schema/fk_graph.h"
+#include "schema/schema.h"
+
+namespace has {
+namespace {
+
+DatabaseSchema TravelSchema() {
+  DatabaseSchema s;
+  RelationId hotels = s.AddRelation("HOTELS");
+  RelationId flights = s.AddRelation("FLIGHTS");
+  s.relation(hotels).AddNumericAttribute("unit_price");
+  s.relation(hotels).AddNumericAttribute("discount_price");
+  s.relation(flights).AddNumericAttribute("price");
+  s.relation(flights).AddForeignKey("comp_hotel_id", hotels);
+  return s;
+}
+
+TEST(SchemaTest, TravelSchemaValid) {
+  DatabaseSchema s = TravelSchema();
+  EXPECT_TRUE(s.Validate().ok());
+  EXPECT_EQ(s.num_relations(), 2);
+  EXPECT_EQ(s.relation(1).arity(), 3);  // id, price, comp_hotel_id
+  EXPECT_TRUE(s.FindRelation("HOTELS").has_value());
+  EXPECT_FALSE(s.FindRelation("NOPE").has_value());
+}
+
+TEST(SchemaTest, DuplicateRelationRejected) {
+  DatabaseSchema s;
+  s.AddRelation("R");
+  s.AddRelation("R");
+  EXPECT_FALSE(s.Validate().ok());
+}
+
+TEST(SchemaTest, AttrLookup) {
+  DatabaseSchema s = TravelSchema();
+  const Relation& flights = s.relation(*s.FindRelation("FLIGHTS"));
+  ASSERT_TRUE(flights.FindAttr("comp_hotel_id").has_value());
+  EXPECT_EQ(flights.ForeignKeyAttrs().size(), 1u);
+  EXPECT_EQ(flights.NumericAttrs().size(), 1u);
+}
+
+TEST(FkGraphTest, AcyclicClassification) {
+  FkGraph fk(TravelSchema());
+  EXPECT_EQ(fk.Classify(), SchemaClass::kAcyclic);
+}
+
+TEST(FkGraphTest, LinearlyCyclicClassification) {
+  // Employee -> Manager self-cycle through a single relation.
+  DatabaseSchema s;
+  RelationId emp = s.AddRelation("EMP");
+  s.relation(emp).AddForeignKey("manager", emp);
+  FkGraph fk(s);
+  EXPECT_EQ(fk.Classify(), SchemaClass::kLinearlyCyclic);
+}
+
+TEST(FkGraphTest, CyclicClassification) {
+  // Two parallel self-loops: two simple cycles through one relation.
+  DatabaseSchema s;
+  RelationId r = s.AddRelation("R");
+  s.relation(r).AddForeignKey("a", r);
+  s.relation(r).AddForeignKey("b", r);
+  FkGraph fk(s);
+  EXPECT_EQ(fk.Classify(), SchemaClass::kCyclic);
+}
+
+TEST(FkGraphTest, TwoRelationCycleIsLinear) {
+  DatabaseSchema s;
+  RelationId a = s.AddRelation("A");
+  RelationId b = s.AddRelation("B");
+  s.relation(a).AddForeignKey("to_b", b);
+  s.relation(b).AddForeignKey("to_a", a);
+  FkGraph fk(s);
+  EXPECT_EQ(fk.Classify(), SchemaClass::kLinearlyCyclic);
+}
+
+TEST(FkGraphTest, PathCountingAcyclic) {
+  FkGraph fk(TravelSchema());
+  // From FLIGHTS: empty path + comp_hotel_id = 2 paths of length <= 1.
+  EXPECT_EQ(fk.CountPaths(1, 1), 2u);
+  // HOTELS has no outgoing FK: only the empty path.
+  EXPECT_EQ(fk.CountPaths(0, 5), 1u);
+  EXPECT_EQ(fk.MaxPaths(1), 2u);
+}
+
+TEST(FkGraphTest, PathCountingSaturates) {
+  DatabaseSchema s;
+  RelationId r = s.AddRelation("R");
+  s.relation(r).AddForeignKey("a", r);
+  s.relation(r).AddForeignKey("b", r);
+  FkGraph fk(s);
+  // 2^n paths: saturates for large n.
+  EXPECT_EQ(fk.CountPaths(r, 2), 7u);  // 1 + 2 + 4
+  EXPECT_EQ(fk.CountPaths(r, 60), kSaturated);
+}
+
+TEST(FkGraphTest, Reachability) {
+  FkGraph fk(TravelSchema());
+  EXPECT_TRUE(fk.Reachable(1, 0));   // FLIGHTS -> HOTELS
+  EXPECT_FALSE(fk.Reachable(0, 1));  // not back
+}
+
+TEST(NavigationDepthTest, LeafFormula) {
+  FkGraph fk(TravelSchema());
+  // h = 1 + |vars| * F(1); F(1) = 2.
+  EXPECT_EQ(NavigationDepthBound(fk, 3, {}), 1 + 3 * 2u);
+}
+
+TEST(NavigationDepthTest, GrowsWithChildren) {
+  // A 7-relation FK chain: deeper navigation admits more paths, so the
+  // parent's bound strictly exceeds the leaf's.
+  DatabaseSchema s;
+  for (int i = 0; i < 7; ++i) s.AddRelation(StrCat("R", i));
+  for (int i = 0; i + 1 < 7; ++i) s.relation(i).AddForeignKey("next", i + 1);
+  FkGraph fk(s);
+  uint64_t leaf = NavigationDepthBound(fk, 2, {});
+  uint64_t parent = NavigationDepthBound(fk, 2, {leaf});
+  EXPECT_GT(parent, leaf);
+}
+
+}  // namespace
+}  // namespace has

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "model/validate.h"
+#include "spec/lexer.h"
+#include "spec/parser.h"
+#include "spec/printer.h"
+
+namespace has {
+namespace {
+
+TEST(LexerTest, TokenKinds) {
+  auto tokens = Tokenize("task T { x <- y; a -> b; n <= 3.5 && !p }");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<TokKind> kinds;
+  for (const Token& t : *tokens) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds.front(), TokKind::kIdent);
+  EXPECT_NE(std::find(kinds.begin(), kinds.end(), TokKind::kLArrow),
+            kinds.end());
+  EXPECT_NE(std::find(kinds.begin(), kinds.end(), TokKind::kArrow),
+            kinds.end());
+  EXPECT_NE(std::find(kinds.begin(), kinds.end(), TokKind::kLe),
+            kinds.end());
+  EXPECT_EQ(kinds.back(), TokKind::kEnd);
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto tokens = Tokenize("a # comment\nb // another\nc");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens->size(), 4u);  // a b c END
+}
+
+TEST(LexerTest, BadCharacterRejected) {
+  EXPECT_FALSE(Tokenize("a $ b").ok());
+}
+
+constexpr char kTinySpec[] = R"(
+system {
+  relation R { v: num; }
+  task Main {
+    ids: x; nums: n;
+    input: ;
+    service go { pre: x == null; post: R(x, n) && n >= 0; }
+  }
+}
+property p1 { G {x == null} }
+property p2 { F svc(go) }
+)";
+
+TEST(ParserTest, ParsesTinySpec) {
+  auto parsed = ParseSpec(kTinySpec);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(ValidateSystem(parsed->system).ok());
+  EXPECT_EQ(parsed->system.num_tasks(), 1);
+  EXPECT_EQ(parsed->properties.size(), 2u);
+  ASSERT_NE(parsed->FindProperty("p1"), nullptr);
+  EXPECT_TRUE(parsed->FindProperty("p1")->Validate(parsed->system).ok());
+  EXPECT_TRUE(parsed->FindProperty("p2")->Validate(parsed->system).ok());
+  EXPECT_EQ(parsed->FindProperty("zzz"), nullptr);
+}
+
+TEST(ParserTest, ConditionKinds) {
+  DatabaseSchema schema;
+  RelationId r = schema.AddRelation("R");
+  schema.relation(r).AddNumericAttribute("v");
+  VarScope scope;
+  scope.AddVar("x", VarSort::kId);
+  scope.AddVar("n", VarSort::kNumeric);
+  auto c1 = ParseCondition("x != null && n == 3", scope, schema);
+  ASSERT_TRUE(c1.ok()) << c1.status().ToString();
+  EXPECT_TRUE((*c1)->CheckWellFormed(scope, schema).ok());
+  auto c2 = ParseCondition("2*n - 1 <= n + 4", scope, schema);
+  ASSERT_TRUE(c2.ok());
+  EXPECT_TRUE((*c2)->UsesArithmetic());
+  auto c3 = ParseCondition("R(x, n)", scope, schema);
+  ASSERT_TRUE(c3.ok());
+  EXPECT_EQ((*c3)->kind(), CondKind::kRel);
+  // ID compared with a number is rejected.
+  EXPECT_FALSE(ParseCondition("x == 3", scope, schema).ok());
+  EXPECT_FALSE(ParseCondition("x <= x", scope, schema).ok());
+}
+
+TEST(ParserTest, NestedTasksAndMappings) {
+  constexpr char spec[] = R"(
+system {
+  relation R { }
+  task Root {
+    ids: x; nums: amount;
+    service init { pre: x == null; post: R(x); }
+    task Sub {
+      ids: sx; nums: flag;
+      input: sx <- x;
+      output: flag -> amount;
+      open when x != null;
+      close when flag == 1;
+      service work { pre: true; post: flag == 1; }
+    }
+  }
+}
+)";
+  auto parsed = ParseSpec(spec);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(ValidateSystem(parsed->system).ok());
+  const Task& sub = parsed->system.task(1);
+  EXPECT_EQ(sub.fin().size(), 1u);
+  EXPECT_EQ(sub.fout().size(), 1u);
+  EXPECT_EQ(parsed->system.Depth(), 2);
+}
+
+TEST(ParserTest, ChildFormulaNodes) {
+  constexpr char spec[] = R"(
+system {
+  relation R { }
+  task Root {
+    ids: x;
+    task Sub {
+      ids: sx;
+      input: sx <- x;
+      open when x != null;
+      close when true;
+      service noop { pre: true; post: true; }
+    }
+    service init { pre: x == null; post: R(x); }
+  }
+}
+property nested { G ( open(Sub) -> [ F {sx != null} ]@Sub ) }
+)";
+  auto parsed = ParseSpec(spec);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const HltlProperty* p = parsed->FindProperty("nested");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->num_nodes(), 2);
+  EXPECT_TRUE(p->Validate(parsed->system).ok());
+  EXPECT_FALSE(PrintProperty(parsed->system, *p).empty());
+}
+
+TEST(ParserTest, ErrorsCarryLineNumbers) {
+  auto bad = ParseSpec("system { task T { ids: x }");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("line"), std::string::npos);
+}
+
+TEST(PrinterTest, SystemRoundTripsTextually) {
+  auto parsed = ParseSpec(kTinySpec);
+  ASSERT_TRUE(parsed.ok());
+  std::string printed = PrintSystem(parsed->system);
+  EXPECT_NE(printed.find("Main"), std::string::npos);
+  EXPECT_NE(printed.find("go"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace has
