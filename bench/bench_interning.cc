@@ -1,0 +1,148 @@
+// Interning microbenchmark: the hash-consed TypePool against the old
+// Signature()+std::map<std::string,…> memoization path, on streams of
+// partial isomorphism types produced by the symbolic successor relation
+// over the Table 1 (no arithmetic) and Table 2 (arithmetic) workload
+// families. Reported counters:
+//   states_per_sec — interned types per second (the acceptance metric),
+//   peak_memo      — distinct canonical types at the end of one pass.
+// A recorded baseline lives in bench/baselines/bench_interning.json.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/successor.h"
+#include "core/type_pool.h"
+#include "workloads.h"
+
+namespace {
+
+using has::PartialIsoType;
+using has::SymbolicConfig;
+
+/// A raw (un-deduplicated) stream of normalized iso types, produced by
+/// breadth-first successor enumeration over every task of the workload.
+/// Duplicates are deliberately kept: the stream replays the mixture of
+/// memo hits and misses the verifier's hot path sees.
+std::vector<PartialIsoType> BuildCorpus(const has::bench::Workload& w,
+                                        size_t target) {
+  std::vector<PartialIsoType> corpus;
+  has::VerifierOptions options;
+  options.max_nav_depth = 2;
+  for (has::TaskId t = 0;
+       t < w.system.num_tasks() && corpus.size() < target; ++t) {
+    has::TaskContext ctx(&w.system, nullptr, t, options, nullptr);
+    const has::Task& task = w.system.task(t);
+    PartialIsoType empty(&w.system.schema(), &task.vars(), ctx.nav_depth());
+    bool truncated = false;
+    std::vector<SymbolicConfig> frontier =
+        has::EnumerateOpening(ctx, empty, has::Cell(), &truncated);
+    for (int round = 0; round < 2 && corpus.size() < target; ++round) {
+      std::vector<SymbolicConfig> next_frontier;
+      for (const SymbolicConfig& config : frontier) {
+        if (corpus.size() >= target) break;
+        corpus.push_back(config.iso);
+        for (size_t i = 0; i < task.services().size(); ++i) {
+          const has::InternalService& svc =
+              task.service(static_cast<int>(i));
+          if (ctx.EvalSym(*svc.pre, config) != has::Truth::kTrue) continue;
+          std::vector<has::InternalSuccessor> succs =
+              has::EnumerateInternal(ctx, config, svc, &truncated);
+          for (has::InternalSuccessor& s : succs) {
+            if (corpus.size() >= target) break;
+            corpus.push_back(s.next.iso);
+            next_frontier.push_back(std::move(s.next));
+          }
+        }
+      }
+      frontier = std::move(next_frontier);
+    }
+  }
+  return corpus;
+}
+
+const std::vector<PartialIsoType>& Corpus(bool with_arith) {
+  static auto* table1 = new std::vector<PartialIsoType>(BuildCorpus(
+      has::bench::MakeWorkload(has::SchemaClass::kAcyclic, /*size=*/3,
+                               /*depth=*/2, /*with_sets=*/true,
+                               /*with_arith=*/false),
+      4000));
+  static auto* table2 = new std::vector<PartialIsoType>(BuildCorpus(
+      has::bench::MakeWorkload(has::SchemaClass::kAcyclic, /*size=*/3,
+                               /*depth=*/2, /*with_sets=*/true,
+                               /*with_arith=*/true),
+      4000));
+  return with_arith ? *table2 : *table1;
+}
+
+/// The pre-refactor memoization: serialize the canonical form into a
+/// string and look it up in a red-black tree.
+void BM_Interning_StringMap(benchmark::State& state, bool with_arith) {
+  const std::vector<PartialIsoType>& corpus = Corpus(with_arith);
+  size_t peak = 0;
+  for (auto _ : state) {
+    std::map<std::string, int> index;
+    std::vector<PartialIsoType> pool;
+    for (const PartialIsoType& t : corpus) {
+      std::string sig = t.Signature();
+      auto it = index.find(sig);
+      if (it == index.end()) {
+        index.emplace(std::move(sig), static_cast<int>(pool.size()));
+        pool.push_back(t);
+      }
+      benchmark::DoNotOptimize(it);
+    }
+    peak = index.size();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(corpus.size()));
+  state.counters["states_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(corpus.size()),
+      benchmark::Counter::kIsRate);
+  state.counters["peak_memo"] = static_cast<double>(peak);
+}
+
+/// The hash-consed TypePool path.
+void BM_Interning_TypePool(benchmark::State& state, bool with_arith) {
+  const std::vector<PartialIsoType>& corpus = Corpus(with_arith);
+  size_t peak = 0;
+  for (auto _ : state) {
+    has::TypePool pool;
+    for (const PartialIsoType& t : corpus) {
+      has::TypeId id = pool.InternNormalized(t);
+      benchmark::DoNotOptimize(id);
+    }
+    peak = pool.num_types();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(corpus.size()));
+  state.counters["states_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(corpus.size()),
+      benchmark::Counter::kIsRate);
+  state.counters["peak_memo"] = static_cast<double>(peak);
+}
+
+void BM_Table1_StringMap(benchmark::State& s) {
+  BM_Interning_StringMap(s, false);
+}
+void BM_Table1_TypePool(benchmark::State& s) {
+  BM_Interning_TypePool(s, false);
+}
+void BM_Table2_StringMap(benchmark::State& s) {
+  BM_Interning_StringMap(s, true);
+}
+void BM_Table2_TypePool(benchmark::State& s) {
+  BM_Interning_TypePool(s, true);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Table1_StringMap);
+BENCHMARK(BM_Table1_TypePool);
+BENCHMARK(BM_Table2_StringMap);
+BENCHMARK(BM_Table2_TypePool);
+
+BENCHMARK_MAIN();

@@ -16,7 +16,7 @@ void RenderPath(const RtEngine& engine, const RtEngine::Entry& entry,
 void RenderChildCall(const RtEngine& engine, const TransitionRecord& rec,
                      const ArtifactSystem& system, int indent,
                      std::string* out) {
-  const RtEngine::Entry* child = engine.FindEntry(rec.child_entry_key);
+  const RtEngine::Entry* child = engine.FindEntry(rec.child_key);
   if (child == nullptr || indent > kMaxExpansionDepth) return;
   std::string pad(static_cast<size_t>(indent) * 2, ' ');
   if (rec.child_result_index >= 0 &&
@@ -49,7 +49,7 @@ void RenderPath(const RtEngine& engine, const RtEngine::Entry& entry,
     *out += StrCat(pad, system.ServiceName(rec.service));
     if (!rec.note.empty()) *out += StrCat("  [", rec.note, "]");
     *out += "\n";
-    if (!rec.child_entry_key.empty()) {
+    if (rec.child_key.valid()) {
       RenderChildCall(engine, rec, system, indent, out);
     }
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/hashing.h"
 #include "common/status.h"
 #include "common/strings.h"
 
@@ -1011,6 +1012,96 @@ std::string PartialIsoType::Signature() const {
   negs.erase(std::unique(negs.begin(), negs.end()), negs.end());
   for (const std::string& s : negs) out += s;
   return out;
+}
+
+void PartialIsoType::CanonicalEncode(std::vector<int64_t>* tokens,
+                                     std::vector<Rational>* consts) const {
+  // Mirrors Signature(): canonical element order, dense class labels in
+  // first-seen order, then tags, sorted disequalities and negative
+  // atoms — emitted as int64 tokens instead of string fragments.
+  constexpr int64_t kSection = INT64_MIN;  // never a valid field value
+  std::vector<int> order(num_elements());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return elements_[a] < elements_[b];
+  });
+  std::map<int, int> label;  // rep -> canonical class label
+  for (int e : order) {
+    int rep = Find(e);
+    auto [it, inserted] = label.emplace(rep, static_cast<int>(label.size()));
+    const IsoElement& el = elements_[e];
+    tokens->push_back(static_cast<int64_t>(el.kind));
+    tokens->push_back(el.var);
+    tokens->push_back(el.relation);
+    tokens->push_back(static_cast<int64_t>(el.path.size()));
+    for (AttrId a : el.path) tokens->push_back(a);
+    if (el.kind == IsoElement::Kind::kConst) consts->push_back(el.value);
+    tokens->push_back(it->second);
+    if (inserted) {
+      auto anchor = anchor_.find(rep);
+      tokens->push_back(anchor != anchor_.end() ? anchor->second
+                                                : kNoRelation - 1);
+      tokens->push_back(null_tag_.count(rep) > 0 ? 1 : 0);
+      auto c = const_tag_.find(rep);
+      tokens->push_back(c != const_tag_.end() ? 1 : 0);
+      if (c != const_tag_.end()) consts->push_back(c->second);
+    }
+  }
+  tokens->push_back(kSection);
+  // Disequalities on canonical labels, sorted and deduplicated.
+  std::vector<std::pair<int, int>> dis;
+  for (const auto& [a, b] : disequalities_) {
+    auto la = label.find(Find(a));
+    auto lb = label.find(Find(b));
+    int va = la == label.end() ? -1 : la->second;
+    int vb = lb == label.end() ? -1 : lb->second;
+    dis.emplace_back(std::min(va, vb), std::max(va, vb));
+  }
+  std::sort(dis.begin(), dis.end());
+  dis.erase(std::unique(dis.begin(), dis.end()), dis.end());
+  for (const auto& [a, b] : dis) {
+    tokens->push_back(a);
+    tokens->push_back(b);
+  }
+  tokens->push_back(kSection);
+  // Negative atoms on canonical labels, sorted and deduplicated. The
+  // sort key differs from Signature()'s (vectors, not strings), but
+  // both canonicalize the same *set*, so equality coincides.
+  std::vector<std::vector<int64_t>> negs;
+  for (const NegAtom& n : neg_atoms_) {
+    std::vector<int64_t> enc{n.relation};
+    for (int a : n.args) enc.push_back(label[Find(a)]);
+    negs.push_back(std::move(enc));
+  }
+  std::sort(negs.begin(), negs.end());
+  negs.erase(std::unique(negs.begin(), negs.end()), negs.end());
+  for (const std::vector<int64_t>& n : negs) {
+    tokens->push_back(static_cast<int64_t>(n.size()));
+    tokens->insert(tokens->end(), n.begin(), n.end());
+  }
+}
+
+size_t HashCanonicalEncoding(const std::vector<int64_t>& tokens,
+                             const std::vector<Rational>& consts) {
+  size_t seed = tokens.size();
+  for (int64_t t : tokens) HashMix(&seed, t);
+  for (const Rational& r : consts) HashCombine(&seed, r.Hash());
+  return seed;
+}
+
+size_t PartialIsoType::CanonicalHash() const {
+  std::vector<int64_t> tokens;
+  std::vector<Rational> consts;
+  CanonicalEncode(&tokens, &consts);
+  return HashCanonicalEncoding(tokens, consts);
+}
+
+bool PartialIsoType::CanonicalEquals(const PartialIsoType& other) const {
+  std::vector<int64_t> a_tokens, b_tokens;
+  std::vector<Rational> a_consts, b_consts;
+  CanonicalEncode(&a_tokens, &a_consts);
+  other.CanonicalEncode(&b_tokens, &b_consts);
+  return a_tokens == b_tokens && a_consts == b_consts;
 }
 
 std::string PartialIsoType::ToString() const {

@@ -59,6 +59,12 @@ struct IsoSort {
   RelationId relation = kNoRelation;  ///< for kId
 };
 
+/// Hash of a canonical encoding (the CanonicalEncode output pair);
+/// shared by PartialIsoType::CanonicalHash and the TypePool so the two
+/// can never drift apart.
+size_t HashCanonicalEncoding(const std::vector<int64_t>& tokens,
+                             const std::vector<Rational>& consts);
+
 class PartialIsoType {
  public:
   /// Empty shell (no scope); only useful as a placeholder to assign
@@ -126,8 +132,24 @@ class PartialIsoType {
   void Normalize();
 
   /// Canonical signature (after Normalize); equal signatures iff equal
-  /// constraint sets.
+  /// constraint sets. Retained for printing and debug assertions — the
+  /// hot paths key on TypePool ids built from CanonicalEncode below.
   std::string Signature() const;
+
+  /// Canonical integer encoding (same canonical element order and class
+  /// labelling as Signature, without materializing a string): equal
+  /// (tokens, consts) pairs iff equal Signature()s. Exact rational
+  /// values are appended to `consts` in canonical order because they do
+  /// not embed into int64.
+  void CanonicalEncode(std::vector<int64_t>* tokens,
+                       std::vector<Rational>* consts) const;
+  /// Hash of the canonical encoding (HashCanonicalEncoding of the
+  /// CanonicalEncode output); collisions are resolved by
+  /// CanonicalEquals.
+  size_t CanonicalHash() const;
+  /// Structural equality of canonical encodings; coincides with
+  /// Signature() equality.
+  bool CanonicalEquals(const PartialIsoType& other) const;
 
   /// Projection onto `vars` (keeping navigation up to `depth`):
   /// existentially forgets everything else.

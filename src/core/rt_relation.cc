@@ -1,5 +1,8 @@
 #include "core/rt_relation.h"
 
+#include <unordered_set>
+
+#include "common/hashing.h"
 #include "common/status.h"
 #include "common/strings.h"
 
@@ -18,16 +21,17 @@ RtEngine::RtEngine(const ArtifactSystem* system, const HltlProperty* property,
 
 RtEngine::~RtEngine() = default;
 
-std::string RtEngine::EntryKey(TaskId task, const PartialIsoType& input_iso,
-                               const Cell& input_cell,
-                               Assignment beta) const {
-  PartialIsoType normalized = input_iso;
-  normalized.Normalize();
-  return StrCat("T", task, "|b", beta, "|", normalized.Signature(), "|c",
-                input_cell.Hash());
+RtQueryKey RtEngine::EntryKey(TaskId task, const PartialIsoType& input_iso,
+                              const Cell& input_cell, Assignment beta) {
+  RtQueryKey key;
+  key.task = task;
+  key.iso = pool_.Intern(input_iso);
+  key.cell = pool_.InternCell(input_cell);
+  key.beta = beta;
+  return key;
 }
 
-const RtEngine::Entry* RtEngine::FindEntry(const std::string& key) const {
+const RtEngine::Entry* RtEngine::FindEntry(const RtQueryKey& key) const {
   auto it = memo_.find(key);
   return it == memo_.end() ? nullptr : it->second.get();
 }
@@ -35,7 +39,7 @@ const RtEngine::Entry* RtEngine::FindEntry(const std::string& key) const {
 const ChildResult& RtEngine::Query(TaskId task,
                                    const PartialIsoType& input_iso,
                                    const Cell& input_cell, Assignment beta) {
-  std::string key = EntryKey(task, input_iso, input_cell, beta);
+  RtQueryKey key = EntryKey(task, input_iso, input_cell, beta);
   auto it = memo_.find(key);
   if (it != memo_.end()) return it->second->result;
 
@@ -45,7 +49,7 @@ const ChildResult& RtEngine::Query(TaskId task,
   const Condition* filter =
       task == system_->root() ? system_->global_pre().get() : nullptr;
   entry->vass = std::make_unique<TaskVass>(
-      context_ptrs_.at(task), &context_ptrs_, automata_.get(), beta,
+      context_ptrs_.at(task), &context_ptrs_, automata_.get(), &pool_, beta,
       input_iso, input_cell, this, filter);
   KarpMillerOptions km_options;
   km_options.max_nodes = options_.max_cov_nodes;
@@ -64,19 +68,22 @@ const ChildResult& RtEngine::Query(TaskId task,
   stats_.counter_dims =
       std::max(stats_.counter_dims,
                static_cast<size_t>(raw->vass->num_dimensions()));
+  stats_.pooled_types = pool_.num_types();
+  stats_.pooled_cells = pool_.num_cells();
   stats_.truncated =
       stats_.truncated || raw->graph->truncated() || raw->vass->truncated();
 
-  // Returning outputs: deduplicate by outcome signature.
-  std::map<std::string, size_t> seen_outputs;
+  // Returning outputs: deduplicate by interned (type, cell) outcome id.
+  std::unordered_set<std::pair<TypeId, CellId>, PairHash<TypeId, CellId>>
+      seen_outputs;
   for (int n = 0; n < raw->graph->num_nodes(); ++n) {
     int state = raw->graph->node_state(n);
     if (!raw->vass->IsReturning(state)) continue;
     ChildOutcome out = raw->vass->OutputOf(state);
-    out.iso.Normalize();
-    std::string out_key = StrCat(out.iso.Signature(), "|", out.cell.Hash());
-    if (seen_outputs.count(out_key) > 0) continue;
-    seen_outputs[out_key] = raw->result.returning.size();
+    std::pair<TypeId, CellId> out_key{pool_.Intern(out.iso),
+                                      pool_.InternCell(out.cell)};
+    if (!seen_outputs.insert(out_key).second) continue;
+    out.iso = pool_.type(out_key.first);  // canonical representative
     raw->result.returning.push_back(std::move(out));
     raw->returning_nodes.push_back(n);
   }

@@ -4,16 +4,20 @@
 // types, and whether a non-returning run (lasso through a Büchi-
 // accepting state, or a blocking run with a ⊥ child) exists. Queries
 // recurse down the hierarchy through the RtOracle interface and are
-// memoized per (task, τ_in, cell, β).
+// memoized per (task, τ_in, cell, β) — the key holds pool-interned ids,
+// so the memo is a flat hash table over integer tuples instead of a
+// tree of serialized signatures.
 #ifndef HAS_CORE_RT_RELATION_H_
 #define HAS_CORE_RT_RELATION_H_
 
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/task_vass.h"
+#include "core/type_pool.h"
 #include "vass/karp_miller.h"
 #include "vass/repeated.h"
 
@@ -26,6 +30,9 @@ struct RtStats {
   size_t cov_edges = 0;
   size_t product_states = 0;
   size_t counter_dims = 0;
+  /// Canonical types / cells hash-consed in the engine's shared pool.
+  size_t pooled_types = 0;
+  size_t pooled_cells = 0;
   bool truncated = false;
 };
 
@@ -40,16 +47,15 @@ class RtEngine : public RtOracle {
   const ChildResult& Query(TaskId task, const PartialIsoType& input_iso,
                            const Cell& input_cell,
                            Assignment beta) override;
-  std::string KeyOf(TaskId task, const PartialIsoType& input_iso,
-                    const Cell& input_cell,
-                    Assignment beta) const override {
+  RtQueryKey KeyOf(TaskId task, const PartialIsoType& input_iso,
+                   const Cell& input_cell, Assignment beta) override {
     return EntryKey(task, input_iso, input_cell, beta);
   }
 
   struct RootWitness {
     bool satisfiable = false;
     /// The memo entry holding the witnessing root exploration.
-    std::string entry_key;
+    RtQueryKey entry_key;
     /// Lasso witness (empty loop = blocking witness).
     std::vector<int64_t> stem_labels;
     std::vector<int64_t> loop_labels;
@@ -63,6 +69,8 @@ class RtEngine : public RtOracle {
 
   const RtStats& stats() const { return stats_; }
   const TaskContext& context(TaskId t) const { return *contexts_.at(t); }
+  /// The engine-wide interning pool (shared by every per-task product).
+  const TypePool& pool() const { return pool_; }
 
   /// Access to a memo entry's exploration artifacts (counterexample
   /// rendering).
@@ -77,19 +85,22 @@ class RtEngine : public RtOracle {
     std::optional<LassoWitness> lasso;
     TaskId task = kNoTask;
   };
-  const Entry* FindEntry(const std::string& key) const;
-  std::string EntryKey(TaskId task, const PartialIsoType& input_iso,
-                       const Cell& input_cell, Assignment beta) const;
+  const Entry* FindEntry(const RtQueryKey& key) const;
+  /// Interns the query input into the pool and returns the memo key.
+  RtQueryKey EntryKey(TaskId task, const PartialIsoType& input_iso,
+                      const Cell& input_cell, Assignment beta);
 
  private:
   const ArtifactSystem* system_;
   const HltlProperty* property_;
   VerifierOptions options_;
   const Hcd* hcd_;
+  TypePool pool_;
   std::unique_ptr<PropertyAutomata> automata_;
   std::map<TaskId, std::unique_ptr<TaskContext>> contexts_;
   std::map<TaskId, const TaskContext*> context_ptrs_;
-  std::map<std::string, std::unique_ptr<Entry>> memo_;
+  std::unordered_map<RtQueryKey, std::unique_ptr<Entry>, RtQueryKeyHash>
+      memo_;
   RtStats stats_;
 };
 

@@ -208,12 +208,16 @@ Truth TaskContext::EvalSym(const Condition& cond,
   return Truth::kUnknown;
 }
 
-std::string TaskContext::TsSignature(const PartialIsoType& iso) const {
+PartialIsoType TaskContext::TsType(const PartialIsoType& iso) const {
   std::set<int> keep = input_vars_;
   keep.insert(set_vars_.begin(), set_vars_.end());
   PartialIsoType proj = iso.Project(keep, nav_depth_);
   proj.Normalize();
-  return proj.Signature();
+  return proj;
+}
+
+std::string TaskContext::TsSignature(const PartialIsoType& iso) const {
+  return TsType(iso).Signature();
 }
 
 bool TaskContext::TsInputBound(const PartialIsoType& iso) const {
@@ -342,22 +346,16 @@ std::vector<InternalSuccessor> EnumerateInternal(const TaskContext& ctx,
       base.cell.set_sign(p, cur.cell.sign(p));
     }
   }
-  std::string insert_sig;
-  bool insert_ib = false;
-  if (svc.inserts) {
-    insert_sig = ctx.TsSignature(cur.iso);
-    insert_ib = ctx.TsInputBound(cur.iso);
-  }
+  const bool insert_ib = svc.inserts && ctx.TsInputBound(cur.iso);
   CompleteDecisions(
       ctx, base, svc.post, ctx.max_branches(), truncated,
       [&](SymbolicConfig&& next) {
         InternalSuccessor s;
         s.inserts = svc.inserts;
-        s.insert_sig = insert_sig;
         s.insert_input_bound = insert_ib;
         if (svc.retrieves) {
           s.retrieves = true;
-          s.retrieve_sig = ctx.TsSignature(next.iso);
+          s.retrieve_ts = ctx.TsType(next.iso);
           s.retrieve_input_bound = ctx.TsInputBound(next.iso);
         }
         s.next = std::move(next);

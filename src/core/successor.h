@@ -77,8 +77,13 @@ class TaskContext {
   /// Two-valued-when-decided evaluation over both components.
   Truth EvalSym(const Condition& cond, const SymbolicConfig& s) const;
 
-  /// Canonical TS-type signature: projection of the iso type onto
-  /// x̄_in ∪ s̄_T (Section 4.1). Keys the artifact-relation counters.
+  /// Canonical TS-type: projection of the iso type onto x̄_in ∪ s̄_T
+  /// (Section 4.1), normalized. The product interns it into a counter
+  /// dimension id.
+  PartialIsoType TsType(const PartialIsoType& iso) const;
+
+  /// String form of TsType — printing/debug only; the hot paths intern
+  /// TsType through the TypePool instead.
   std::string TsSignature(const PartialIsoType& iso) const;
 
   /// Input-bound test (Section 4.1): every non-null set variable is
@@ -109,12 +114,15 @@ class TaskContext {
 /// One successor of an internal service application.
 struct InternalSuccessor {
   SymbolicConfig next;
-  /// Set-update bookkeeping (empty strings when unused).
+  /// Set-update bookkeeping. The retrieved tuple's canonical TS-type
+  /// (meaningful iff `retrieves`) varies per successor; the inserted
+  /// tuple's TS-type is the projection of the shared PRE-state, so the
+  /// product recomputes and interns it once per service application
+  /// (TaskContext::TsType) instead of carrying a copy here.
   bool inserts = false;
-  std::string insert_sig;
   bool insert_input_bound = false;
   bool retrieves = false;
-  std::string retrieve_sig;
+  PartialIsoType retrieve_ts;
   bool retrieve_input_bound = false;
 };
 

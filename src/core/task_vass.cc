@@ -9,90 +9,78 @@ namespace has {
 
 TaskVass::TaskVass(const TaskContext* ctx,
                    const std::map<TaskId, const TaskContext*>* child_ctxs,
-                   PropertyAutomata* automata, Assignment beta,
-                   PartialIsoType input_iso, Cell input_cell, RtOracle* oracle,
-                   const Condition* opening_filter)
+                   PropertyAutomata* automata, TypePool* pool,
+                   Assignment beta, PartialIsoType input_iso, Cell input_cell,
+                   RtOracle* oracle, const Condition* opening_filter)
     : ctx_(ctx),
       child_ctxs_(child_ctxs),
       all_automata_(automata),
       automata_(&automata->ForTask(ctx->task_id())),
+      pool_(pool),
       beta_(beta),
       input_iso_(std::move(input_iso)),
       input_cell_(input_cell),
       oracle_(oracle),
-      opening_filter_(opening_filter) {
+      opening_filter_(opening_filter),
+      state_index_(0, StateIndexHash{&states_}, StateIndexEq{&states_}) {
   buchi_ = &automata_->automaton(beta);
 }
 
-int TaskVass::InternIso(PartialIsoType iso) {
-  iso.Normalize();
-  std::string sig = iso.Signature();
-  auto it = iso_index_.find(sig);
-  if (it != iso_index_.end()) return it->second;
-  int id = static_cast<int>(iso_pool_.size());
-  iso_pool_.push_back(std::move(iso));
-  iso_index_.emplace(std::move(sig), id);
-  return id;
+TypeId TaskVass::InternIso(const PartialIsoType& iso) {
+  return pool_->InternNormalized(iso);
 }
 
-int TaskVass::InternCell(const Cell& cell) {
-  for (size_t i = 0; i < cell_pool_.size(); ++i) {
-    if (cell_pool_[i] == cell) return static_cast<int>(i);
-  }
-  cell_pool_.push_back(cell);
-  return static_cast<int>(cell_pool_.size() - 1);
+CellId TaskVass::InternCell(const Cell& cell) {
+  return pool_->InternCell(cell);
 }
 
 int TaskVass::InternState(State s) {
-  std::string key = StrCat(s.iso, "|", s.cell, "|",
-                           static_cast<int>(s.service.kind), ".",
-                           s.service.task, ".", s.service.index, "|", s.q,
-                           "|");
-  for (const ChildStage& st : s.stages) {
-    key += StrCat(static_cast<int>(st.kind), ",", st.outcome, ",", st.beta,
-                  ";");
-  }
-  key += "|";
-  for (int b : s.ib_bits) key += StrCat(b, ",");
-  auto it = state_index_.find(key);
-  if (it != state_index_.end()) return it->second;
-  int id = static_cast<int>(states_.size());
+  // Push the candidate first so the by-id index can hash/compare it;
+  // on a hit the candidate is popped again.
+  int candidate = static_cast<int>(states_.size());
   states_.push_back(std::move(s));
-  state_index_.emplace(std::move(key), id);
-  return id;
+  auto [it, inserted] = state_index_.insert(candidate);
+  if (!inserted) {
+    states_.pop_back();
+    return *it;
+  }
+  return candidate;
 }
 
-int TaskVass::DimOf(const std::string& sig) {
-  auto it = dim_index_.find(sig);
+int TaskVass::DimOf(TypeId ts) {
+  auto it = dim_index_.find(ts);
   if (it != dim_index_.end()) return it->second;
-  int id = static_cast<int>(dim_sigs_.size());
-  dim_sigs_.push_back(sig);
-  dim_index_.emplace(sig, id);
+  int id = static_cast<int>(dim_types_.size());
+  dim_types_.push_back(ts);
+  dim_index_.emplace(ts, id);
   return id;
 }
 
-int TaskVass::IbIdOf(const std::string& sig) {
-  auto it = ib_index_.find(sig);
+int TaskVass::IbIdOf(TypeId ts) {
+  auto it = ib_index_.find(ts);
   if (it != ib_index_.end()) return it->second;
-  int id = static_cast<int>(ib_sigs_.size());
-  ib_sigs_.push_back(sig);
-  ib_index_.emplace(sig, id);
+  int id = static_cast<int>(ib_types_.size());
+  ib_types_.push_back(ts);
+  ib_index_.emplace(ts, id);
   return id;
 }
 
 int TaskVass::InternOutcome(ChildOutcome outcome) {
-  outcome.iso.Normalize();
-  std::string key = StrCat(outcome.bottom ? "B" : "R", "|",
-                           outcome.iso.Signature(), "|",
-                           outcome.cell.Hash());
-  for (size_t i = 0; i < outcomes_.size(); ++i) {
-    std::string other =
-        StrCat(outcomes_[i].bottom ? "B" : "R", "|",
-               outcomes_[i].iso.Signature(), "|", outcomes_[i].cell.Hash());
-    if (other == key) return static_cast<int>(i);
-  }
+  OutcomeKey key;
+  key.bottom = outcome.bottom;
+  // Child outcomes arrive as canonical pool representatives (the
+  // engine normalizes them when deduplicating returning outputs).
+  key.iso = pool_->InternNormalized(outcome.iso);
+  key.cell = pool_->InternCell(outcome.cell);
+  auto it = outcome_index_.find(key);
+  if (it != outcome_index_.end()) return it->second;
+  int id = static_cast<int>(outcomes_.size());
+  // Store the canonical (normalized) instance from the pool so every
+  // consumer sees the interned representative.
+  outcome.iso = pool_->type(key.iso);
   outcomes_.push_back(std::move(outcome));
-  return static_cast<int>(outcomes_.size() - 1);
+  outcome_index_.emplace(key, id);
+  return id;
 }
 
 std::vector<bool> TaskVass::MakeLetter(const SymbolicConfig& config,
@@ -171,11 +159,13 @@ void TaskVass::EmitEdges(const State& from, const SymbolicConfig& next,
   std::vector<bool> letter = MakeLetter(next, service, opened_child,
                                         child_beta);
   std::sort(ib_bits.begin(), ib_bits.end());
+  TypeId next_iso = InternIso(next.iso);
+  CellId next_cell = InternCell(next.cell);
   for (int q2 : buchi_->successors(from.q)) {
     if (!buchi_->CompatibleWith(q2, letter)) continue;
     State s;
-    s.iso = InternIso(next.iso);
-    s.cell = InternCell(next.cell);
+    s.iso = next_iso;
+    s.cell = next_cell;
     s.service = service;
     s.q = q2;
     s.stages = stages;
@@ -200,7 +190,7 @@ void TaskVass::Successors(int state, std::vector<VassEdge>* out) {
       snapshot.service.task == ctx_->task_id()) {
     return;
   }
-  SymbolicConfig cur{iso_pool_[snapshot.iso], cell_pool_[snapshot.cell]};
+  SymbolicConfig cur{pool_->type(snapshot.iso), pool_->cell(snapshot.cell)};
 
   bool any_active = false;
   for (const ChildStage& st : snapshot.stages) {
@@ -220,23 +210,31 @@ void TaskVass::Successors(int state, std::vector<VassEdge>* out) {
       std::vector<InternalSuccessor> succs =
           EnumerateInternal(*ctx_, cur, svc, &truncated);
       truncated_ = truncated_ || truncated;
+      // The inserted TS-type is the projection of the CURRENT state, so
+      // it is identical across every successor of this service: intern
+      // it once (the retrieved type varies per successor).
+      TypeId insert_ts = kNoTypeId;
+      if (svc.inserts && !succs.empty()) {
+        insert_ts = pool_->InternNormalized(ctx_->TsType(cur.iso));
+      }
       for (InternalSuccessor& s : succs) {
         Delta delta;
         std::vector<int> ib = snapshot.ib_bits;
         bool feasible = true;
         if (s.inserts) {
           if (s.insert_input_bound) {
-            int id = IbIdOf(s.insert_sig);
+            int id = IbIdOf(insert_ts);
             if (std::find(ib.begin(), ib.end(), id) == ib.end()) {
               ib.push_back(id);
             }
           } else {
-            delta.emplace_back(DimOf(s.insert_sig), 1);
+            delta.emplace_back(DimOf(insert_ts), 1);
           }
         }
         if (s.retrieves) {
+          TypeId ts = pool_->InternNormalized(std::move(s.retrieve_ts));
           if (s.retrieve_input_bound) {
-            int id = IbIdOf(s.retrieve_sig);
+            int id = IbIdOf(ts);
             auto it = std::find(ib.begin(), ib.end(), id);
             if (it == ib.end()) {
               feasible = false;  // nothing of this type in the set
@@ -244,7 +242,7 @@ void TaskVass::Successors(int state, std::vector<VassEdge>* out) {
               ib.erase(it);
             }
           } else {
-            delta.emplace_back(DimOf(s.retrieve_sig), -1);
+            delta.emplace_back(DimOf(ts), -1);
           }
         }
         if (!feasible) continue;
@@ -272,7 +270,7 @@ void TaskVass::Successors(int state, std::vector<VassEdge>* out) {
          bc < static_cast<Assignment>(num_assignments); ++bc) {
       const ChildResult& result =
           oracle_->Query(child_id, child_in, child_in_cell, bc);
-      std::string entry_key =
+      RtQueryKey entry_key =
           oracle_->KeyOf(child_id, child_in, child_in_cell, bc);
       for (size_t oi = 0; oi < result.returning.size(); ++oi) {
         ChildOutcome copy = result.returning[oi];
@@ -284,7 +282,7 @@ void TaskVass::Successors(int state, std::vector<VassEdge>* out) {
                   {}, std::move(stages), snapshot.ib_bits,
                   StrCat("open ", child.name()), out, false);
         for (size_t ri = first_record; ri < records_.size(); ++ri) {
-          records_[ri].child_entry_key = entry_key;
+          records_[ri].child_key = entry_key;
           records_[ri].child_result_index = static_cast<int>(oi);
         }
       }
@@ -297,7 +295,7 @@ void TaskVass::Successors(int state, std::vector<VassEdge>* out) {
                   StrCat("open ", child.name(), " (non-returning)"), out,
                   false);
         for (size_t ri = first_record; ri < records_.size(); ++ri) {
-          records_[ri].child_entry_key = entry_key;
+          records_[ri].child_key = entry_key;
           records_[ri].child_result_index = -1;
         }
       }
@@ -367,16 +365,16 @@ ChildOutcome TaskVass::OutputOf(int state) const {
   }
   ChildOutcome out;
   out.bottom = false;
-  out.iso = iso_pool_[s.iso].Project(keep, ctx_->nav_depth());
+  out.iso = pool_->type(s.iso).Project(keep, ctx_->nav_depth());
   if (ctx_->basis() != nullptr) {
-    out.cell = cell_pool_[s.cell].RestrictTo(
+    out.cell = pool_->cell(s.cell).RestrictTo(
         ctx_->basis()->PolysOverVars(numeric_keep));
   }
   return out;
 }
 
 const PartialIsoType& TaskVass::state_iso(int state) const {
-  return iso_pool_[states_[state].iso];
+  return pool_->type(states_[state].iso);
 }
 
 }  // namespace has

@@ -5,15 +5,24 @@
 // types discovered during exploration. Transitions implement the
 // symbolic successor relation; opening a child guesses an entry
 // (τ_in, τ_out, β_c) of the child's R_Tc relation through the RtOracle.
+//
+// All symbolic state is hash-consed through a TypePool shared across
+// every product of one engine: states, counter dimensions and child
+// outcomes are keyed by interned TypeId/CellId handles, never by
+// serialized signatures.
 #ifndef HAS_CORE_TASK_VASS_H_
 #define HAS_CORE_TASK_VASS_H_
 
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "common/hashing.h"
 #include "core/successor.h"
+#include "core/type_pool.h"
 #include "hltl/assignments.h"
 #include "vass/vass.h"
 
@@ -32,6 +41,31 @@ struct ChildResult {
   bool has_bottom = false;              ///< lasso or blocking run exists
 };
 
+/// Memo key of one R_T query: all components are pool-interned ids, so
+/// key equality is a handful of integer compares.
+struct RtQueryKey {
+  TaskId task = kNoTask;
+  TypeId iso = kNoTypeId;
+  CellId cell = kNoCellId;
+  Assignment beta = 0;
+
+  bool valid() const { return task != kNoTask; }
+  bool operator==(const RtQueryKey& o) const {
+    return task == o.task && iso == o.iso && cell == o.cell && beta == o.beta;
+  }
+  bool operator!=(const RtQueryKey& o) const { return !(*this == o); }
+};
+
+struct RtQueryKeyHash {
+  size_t operator()(const RtQueryKey& k) const {
+    size_t seed = static_cast<size_t>(k.task);
+    HashMix(&seed, k.iso);
+    HashMix(&seed, k.cell);
+    HashMix(&seed, k.beta);
+    return seed;
+  }
+};
+
 /// Interface the product uses to query children (implemented by the
 /// RtEngine with memoization; Lemma 21's recursion).
 class RtOracle {
@@ -41,10 +75,10 @@ class RtOracle {
                                    const PartialIsoType& input_iso,
                                    const Cell& input_cell,
                                    Assignment beta) = 0;
-  /// Memo key of the query (for counterexample expansion).
-  virtual std::string KeyOf(TaskId child, const PartialIsoType& input_iso,
-                            const Cell& input_cell,
-                            Assignment beta) const = 0;
+  /// Memo key of the query (for counterexample expansion). Interns the
+  /// input into the oracle's pool, hence non-const.
+  virtual RtQueryKey KeyOf(TaskId child, const PartialIsoType& input_iso,
+                           const Cell& input_cell, Assignment beta) = 0;
 };
 
 /// Child stage within the current segment.
@@ -71,9 +105,10 @@ struct TransitionRecord {
   /// For child openings: the guessed β_c and outcome index (-1 = ⊥).
   Assignment child_beta = 0;
   int child_outcome = -1;
-  /// Memo key of the child query and the index into its returning set
-  /// (-1 for ⊥ outcomes); used to expand the child's witness run.
-  std::string child_entry_key;
+  /// Memo key of the child query (invalid when the transition opened no
+  /// child) and the index into its returning set (-1 for ⊥ outcomes);
+  /// used to expand the child's witness run.
+  RtQueryKey child_key;
   int child_result_index = -1;
   std::string note;
 };
@@ -81,10 +116,11 @@ struct TransitionRecord {
 class TaskVass : public VassSystem {
  public:
   /// `opening_filter` (nullable) must hold at opening configurations —
-  /// the verifier passes Π for the root task.
+  /// the verifier passes Π for the root task. `pool` is the engine's
+  /// shared interning pool and must outlive the product.
   TaskVass(const TaskContext* ctx,
            const std::map<TaskId, const TaskContext*>* child_ctxs,
-           PropertyAutomata* automata, Assignment beta,
+           PropertyAutomata* automata, TypePool* pool, Assignment beta,
            PartialIsoType input_iso, Cell input_cell, RtOracle* oracle,
            const Condition* opening_filter);
 
@@ -116,25 +152,69 @@ class TaskVass : public VassSystem {
   /// Whether any successor enumeration hit the branch budget.
   bool truncated() const { return truncated_; }
   /// Counter dimensions allocated so far (TS types).
-  int num_dimensions() const { return static_cast<int>(dim_sigs_.size()); }
+  int num_dimensions() const { return static_cast<int>(dim_types_.size()); }
   size_t num_outcomes() const { return outcomes_.size(); }
   const ChildOutcome& outcome(int i) const { return outcomes_[i]; }
 
  private:
   struct State {
-    int iso = -1;   // index into iso_pool_
-    int cell = -1;  // index into cell_pool_
+    TypeId iso = kNoTypeId;
+    CellId cell = kNoCellId;
     ServiceRef service;
     int q = -1;
     std::vector<ChildStage> stages;       // parallel to task children
-    std::vector<int> ib_bits;             // sorted ib-signature ids set to 1
+    std::vector<int> ib_bits;             // sorted ib-type ids set to 1
+
+    bool operator==(const State& o) const {
+      return iso == o.iso && cell == o.cell && service == o.service &&
+             q == o.q && stages == o.stages && ib_bits == o.ib_bits;
+    }
   };
 
-  int InternIso(PartialIsoType iso);
-  int InternCell(const Cell& cell);
+  struct StateHash {
+    size_t operator()(const State& s) const {
+      size_t seed = static_cast<size_t>(s.iso);
+      HashMix(&seed, s.cell);
+      HashCombine(&seed, s.service.Hash());
+      HashMix(&seed, s.q);
+      for (const ChildStage& st : s.stages) {
+        HashMix(&seed, static_cast<int>(st.kind));
+        HashMix(&seed, st.outcome);
+        HashMix(&seed, st.beta);
+      }
+      for (int b : s.ib_bits) HashMix(&seed, b);
+      return seed;
+    }
+  };
+
+  /// Key of an interned child outcome (all components pool ids).
+  struct OutcomeKey {
+    bool bottom = false;
+    TypeId iso = kNoTypeId;
+    CellId cell = kNoCellId;
+
+    bool operator==(const OutcomeKey& o) const {
+      return bottom == o.bottom && iso == o.iso && cell == o.cell;
+    }
+  };
+  struct OutcomeKeyHash {
+    size_t operator()(const OutcomeKey& k) const {
+      size_t seed = k.bottom ? 1 : 0;
+      HashMix(&seed, k.iso);
+      HashMix(&seed, k.cell);
+      return seed;
+    }
+  };
+
+  /// Interns an already-normalized iso type (the enumeration emits
+  /// normalized configurations); a pool hit is copy-free.
+  TypeId InternIso(const PartialIsoType& iso);
+  CellId InternCell(const Cell& cell);
   int InternState(State s);
-  int DimOf(const std::string& sig);
-  int IbIdOf(const std::string& sig);
+  /// Counter dimension of a TS-type (allocating on first sight).
+  int DimOf(TypeId ts);
+  /// Input-bound bit id of a TS-type (allocating on first sight).
+  int IbIdOf(TypeId ts);
   int InternOutcome(ChildOutcome outcome);
 
   /// Letter of a configuration for the Büchi product.
@@ -154,6 +234,7 @@ class TaskVass : public VassSystem {
   const std::map<TaskId, const TaskContext*>* child_ctxs_;
   PropertyAutomata* all_automata_;
   TaskAutomata* automata_;
+  TypePool* pool_;
   Assignment beta_;
   PartialIsoType input_iso_;
   Cell input_cell_;
@@ -161,16 +242,30 @@ class TaskVass : public VassSystem {
   const Condition* opening_filter_;
   const BuchiAutomaton* buchi_ = nullptr;
 
-  std::vector<PartialIsoType> iso_pool_;
-  std::map<std::string, int> iso_index_;
-  std::vector<Cell> cell_pool_;
+  /// The state index keys by id and hashes/compares through states_,
+  /// so each State (with its stages/ib_bits vectors) is stored once.
+  struct StateIndexHash {
+    const std::vector<State>* states;
+    size_t operator()(int id) const {
+      return StateHash{}((*states)[static_cast<size_t>(id)]);
+    }
+  };
+  struct StateIndexEq {
+    const std::vector<State>* states;
+    bool operator()(int a, int b) const {
+      return (*states)[static_cast<size_t>(a)] ==
+             (*states)[static_cast<size_t>(b)];
+    }
+  };
+
   std::vector<State> states_;
-  std::map<std::string, int> state_index_;
-  std::vector<std::string> dim_sigs_;
-  std::map<std::string, int> dim_index_;
-  std::vector<std::string> ib_sigs_;
-  std::map<std::string, int> ib_index_;
+  std::unordered_set<int, StateIndexHash, StateIndexEq> state_index_;
+  std::vector<TypeId> dim_types_;
+  std::unordered_map<TypeId, int> dim_index_;
+  std::vector<TypeId> ib_types_;
+  std::unordered_map<TypeId, int> ib_index_;
   std::vector<ChildOutcome> outcomes_;
+  std::unordered_map<OutcomeKey, int, OutcomeKeyHash> outcome_index_;
   std::vector<TransitionRecord> records_;
   bool truncated_ = false;
 };

@@ -1,0 +1,67 @@
+#include "core/type_pool.h"
+
+#include <cassert>
+
+namespace has {
+
+TypeId TypePool::Intern(PartialIsoType iso) {
+  iso.Normalize();
+  return InternImpl(iso, &iso);
+}
+
+TypeId TypePool::InternNormalized(const PartialIsoType& iso) {
+  return InternImpl(iso, nullptr);
+}
+
+TypeId TypePool::InternNormalized(PartialIsoType&& iso) {
+  return InternImpl(iso, &iso);
+}
+
+TypeId TypePool::InternImpl(const PartialIsoType& iso,
+                            PartialIsoType* owned) {
+  ++stats_.iso_queries;
+  std::vector<int64_t> tokens;
+  std::vector<Rational> consts;
+  iso.CanonicalEncode(&tokens, &consts);
+  size_t hash = HashCanonicalEncoding(tokens, consts);
+
+  std::vector<TypeId>& bucket = type_buckets_[hash];
+  for (TypeId id : bucket) {
+    if (type_tokens_[static_cast<size_t>(id)] == tokens &&
+        type_consts_[static_cast<size_t>(id)] == consts) {
+      ++stats_.iso_hits;
+      // Id equality must coincide with signature equality (the
+      // canonical encoding is a faithful re-coding of Signature()).
+      assert(types_[static_cast<size_t>(id)].Signature() == iso.Signature());
+      return id;
+    }
+  }
+  TypeId id = static_cast<TypeId>(types_.size());
+  if (owned != nullptr) {
+    types_.push_back(std::move(*owned));
+  } else {
+    types_.push_back(iso);
+  }
+  type_tokens_.push_back(std::move(tokens));
+  type_consts_.push_back(std::move(consts));
+  bucket.push_back(id);
+  return id;
+}
+
+CellId TypePool::InternCell(Cell cell) {
+  ++stats_.cell_queries;
+  size_t hash = cell.Hash();
+  std::vector<CellId>& bucket = cell_buckets_[hash];
+  for (CellId id : bucket) {
+    if (cells_[static_cast<size_t>(id)] == cell) {
+      ++stats_.cell_hits;
+      return id;
+    }
+  }
+  CellId id = static_cast<CellId>(cells_.size());
+  cells_.push_back(std::move(cell));
+  bucket.push_back(id);
+  return id;
+}
+
+}  // namespace has

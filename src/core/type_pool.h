@@ -1,0 +1,94 @@
+// Hash-consed interning of canonical symbolic state: a TypePool owns
+// the canonical PartialIsoType (and Cell) instances in arena storage
+// and hands out dense integer handles. Interning normalizes first, so
+// two semantically equal types always map to the SAME TypeId — equality
+// on the hot paths (RT memoization, product-state interning, counter
+// dimensions, coverability keys) degenerates to an integer compare, and
+// the per-type canonical hash is computed exactly once. The pool is
+// shared across all per-task products of one RtEngine, deduplicating
+// types globally across RT queries; it is also the anchor point for the
+// sharded exploration the roadmap plans (one pool per shard + merge).
+#ifndef HAS_CORE_TYPE_POOL_H_
+#define HAS_CORE_TYPE_POOL_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "arith/cell.h"
+#include "core/iso_type.h"
+
+namespace has {
+
+/// Dense handle of an interned PartialIsoType. Ids are only comparable
+/// within the pool that issued them.
+using TypeId = int32_t;
+/// Dense handle of an interned Cell.
+using CellId = int32_t;
+
+inline constexpr TypeId kNoTypeId = -1;
+inline constexpr CellId kNoCellId = -1;
+
+class TypePool {
+ public:
+  TypePool() = default;
+  TypePool(const TypePool&) = delete;
+  TypePool& operator=(const TypePool&) = delete;
+
+  /// Normalizes `iso` and interns the canonical form. Equal constraint
+  /// sets (equal Signature()s) receive equal ids.
+  TypeId Intern(PartialIsoType iso);
+
+  /// Interns a type the caller guarantees is already normalized (the
+  /// common case on the successor hot path, where Normalize() already
+  /// ran during enumeration). Copies into the arena only on a miss —
+  /// a hit costs one canonical encoding and a hash probe. Debug builds
+  /// assert that a hit really has an identical Signature(), i.e. id
+  /// equality coincides with signature equality.
+  TypeId InternNormalized(const PartialIsoType& iso);
+  /// Rvalue variant: a miss moves the type into the arena instead of
+  /// copying it.
+  TypeId InternNormalized(PartialIsoType&& iso);
+
+  const PartialIsoType& type(TypeId id) const {
+    return types_[static_cast<size_t>(id)];
+  }
+  size_t num_types() const { return types_.size(); }
+
+  CellId InternCell(Cell cell);
+  const Cell& cell(CellId id) const { return cells_[static_cast<size_t>(id)]; }
+  size_t num_cells() const { return cells_.size(); }
+
+  struct Stats {
+    size_t iso_queries = 0;
+    size_t iso_hits = 0;
+    size_t cell_queries = 0;
+    size_t cell_hits = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  /// Shared lookup/insert; `owned` (nullable) is moved into the arena
+  /// on a miss, otherwise `iso` is copied.
+  TypeId InternImpl(const PartialIsoType& iso, PartialIsoType* owned);
+
+  // Arena storage: deques keep element addresses stable across growth,
+  // so `type(id)` references stay valid while interning continues.
+  std::deque<PartialIsoType> types_;
+  // Canonical encodings of the pooled types, parallel to types_; probe
+  // comparisons run on these flat vectors instead of re-encoding the
+  // pooled side on every collision.
+  std::deque<std::vector<int64_t>> type_tokens_;
+  std::deque<std::vector<Rational>> type_consts_;
+  std::unordered_map<size_t, std::vector<TypeId>> type_buckets_;
+
+  std::deque<Cell> cells_;
+  std::unordered_map<size_t, std::vector<CellId>> cell_buckets_;
+
+  Stats stats_;
+};
+
+}  // namespace has
+
+#endif  // HAS_CORE_TYPE_POOL_H_

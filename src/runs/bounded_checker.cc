@@ -1,12 +1,28 @@
 #include "runs/bounded_checker.h"
 
+#include <unordered_map>
+#include <utility>
+
+#include "common/hashing.h"
 #include "common/status.h"
 
 namespace has {
 
-bool EvalHltlOnRun(const ArtifactSystem& system, const DatabaseInstance& db,
-                   const HltlProperty& property, const RunTree& tree,
-                   int node, int run_index) {
+namespace {
+
+/// Verdict cache for one tree: (property node, run index) → result.
+/// Child formulas re-evaluate the same (node, run) pair once per
+/// opening step that references it; both components are already dense
+/// integer ids, so the memo is a flat hash table.
+using RunEvalMemo = std::unordered_map<std::pair<int, int>, bool,
+                                       PairHash<int, int>>;
+
+bool EvalHltlOnRunMemo(const ArtifactSystem& system,
+                       const DatabaseInstance& db,
+                       const HltlProperty& property, const RunTree& tree,
+                       int node, int run_index, RunEvalMemo* memo) {
+  auto it = memo->find({node, run_index});
+  if (it != memo->end()) return it->second;
   const HltlNode& n = property.node(node);
   const LocalRun& run = tree.runs[run_index];
   HAS_CHECK_MSG(n.task == run.task, "node/run task mismatch");
@@ -29,8 +45,9 @@ bool EvalHltlOnRun(const ArtifactSystem& system, const DatabaseInstance& db,
           TaskId child_task = property.node(prop.child_node).task;
           if (step.service == ServiceRef::Opening(child_task) &&
               step.child_run >= 0) {
-            letter[p] = EvalHltlOnRun(system, db, property, tree,
-                                      prop.child_node, step.child_run);
+            letter[p] = EvalHltlOnRunMemo(system, db, property, tree,
+                                          prop.child_node, step.child_run,
+                                          memo);
           }
           break;
         }
@@ -38,7 +55,19 @@ bool EvalHltlOnRun(const ArtifactSystem& system, const DatabaseInstance& db,
     }
     word.push_back(std::move(letter));
   }
-  return n.skeleton->EvalFinite(word);
+  bool result = n.skeleton->EvalFinite(word);
+  memo->emplace(std::make_pair(node, run_index), result);
+  return result;
+}
+
+}  // namespace
+
+bool EvalHltlOnRun(const ArtifactSystem& system, const DatabaseInstance& db,
+                   const HltlProperty& property, const RunTree& tree,
+                   int node, int run_index) {
+  RunEvalMemo memo;
+  return EvalHltlOnRunMemo(system, db, property, tree, node, run_index,
+                           &memo);
 }
 
 bool EvalHltlOnTree(const ArtifactSystem& system, const DatabaseInstance& db,

@@ -1,6 +1,7 @@
 #include "runs/simulator.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "common/status.h"
 
@@ -14,12 +15,14 @@ class Simulator {
             const SimulatorOptions& options)
       : system_(system), db_(db), options_(options), rng_(options.seed) {
     // Candidate values: database IDs per relation, null, and a numeric
-    // pool extended with every constant appearing in conditions.
+    // pool extended with every constant appearing in conditions. Both
+    // pools are hash-deduplicated so repeated constants across services
+    // neither bloat the pools nor skew the sampling.
     for (RelationId r = 0; r < db.schema().num_relations(); ++r) {
-      for (const Tuple& t : db.tuples(r)) id_pool_.push_back(t[0]);
+      for (const Tuple& t : db.tuples(r)) AddId(t[0]);
     }
     for (double x : options.numeric_pool) {
-      num_pool_.push_back(Value::Real(x));
+      AddNum(Value::Real(x));
     }
     for (TaskId t = 0; t < system.num_tasks(); ++t) {
       CollectConstants(system.task(t));
@@ -49,6 +52,13 @@ class Simulator {
   }
 
  private:
+  void AddId(const Value& v) {
+    if (seen_ids_.insert(v).second) id_pool_.push_back(v);
+  }
+  void AddNum(const Value& v) {
+    if (seen_nums_.insert(v).second) num_pool_.push_back(v);
+  }
+
   void CollectConstants(const Task& task) {
     std::vector<const Condition*> atoms;
     for (const InternalService& s : task.services()) {
@@ -61,13 +71,12 @@ class Simulator {
       if (a->kind() == CondKind::kEq) {
         for (const Term* t : {&a->lhs(), &a->rhs()}) {
           if (t->kind == Term::Kind::kConst) {
-            num_pool_.push_back(Value::Real(t->value.ToDouble()));
+            AddNum(Value::Real(t->value.ToDouble()));
           }
         }
       } else if (a->kind() == CondKind::kArith) {
-        num_pool_.push_back(
-            Value::Real((Rational(0) - a->constraint().expr.constant())
-                            .ToDouble()));
+        AddNum(Value::Real((Rational(0) - a->constraint().expr.constant())
+                               .ToDouble()));
       }
     }
   }
@@ -237,6 +246,8 @@ class Simulator {
   std::mt19937_64 rng_;
   std::vector<Value> id_pool_;
   std::vector<Value> num_pool_;
+  std::unordered_set<Value, ValueHash> seen_ids_;
+  std::unordered_set<Value, ValueHash> seen_nums_;
 };
 
 }  // namespace

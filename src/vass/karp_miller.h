@@ -14,11 +14,12 @@
 #define HAS_VASS_KARP_MILLER_H_
 
 #include <functional>
-#include <map>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "common/hashing.h"
 #include "vass/vass.h"
 
 namespace has {
@@ -73,13 +74,18 @@ class KarpMiller {
     std::vector<Edge> edges;
   };
 
+  /// (VASS state, marking) — the interned identity of a node. States
+  /// are already pool-interned ids upstream, so hashing the pair is a
+  /// flat integer mix with no serialization.
+  using NodeKey = std::pair<int, std::vector<int64_t>>;
+
   int InternNode(int state, std::vector<int64_t> marking, int parent,
                  int64_t parent_label, bool* created);
 
   VassSystem* system_;
   KarpMillerOptions options_;
   std::vector<Node> nodes_;
-  std::map<std::pair<int, std::vector<int64_t>>, int> index_;
+  std::unordered_map<NodeKey, int, IdVectorHash> index_;
   std::unordered_map<int, std::vector<VassEdge>> succ_cache_;
   bool truncated_ = false;
 };

@@ -1,9 +1,11 @@
 #include "vass/repeated.h"
 
 #include <algorithm>
-#include <map>
-#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
 
+#include "common/hashing.h"
 #include "common/status.h"
 
 namespace has {
@@ -118,8 +120,9 @@ std::optional<std::vector<int64_t>> FindNonNegLoop(
   auto clamp = [&](int64_t v) {
     return std::min(std::max(v, -options.effect_bound), options.effect_bound);
   };
-  std::map<Key, std::pair<Key, int64_t>> parent;  // key -> (prev key, label)
-  std::set<Key> seen;
+  // key -> (prev key, label)
+  std::unordered_map<Key, std::pair<Key, int64_t>, IdVectorHash> parent;
+  std::unordered_set<Key, IdVectorHash> seen;
   std::vector<Key> stack;
   Key init{start, std::vector<int64_t>(omega_dims.size(), 0)};
   stack.push_back(init);

@@ -75,8 +75,11 @@ TEST(EnumerateInternalTest, SetUpdatesProduceSignatures) {
   ASSERT_FALSE(succs.empty());
   for (const InternalSuccessor& s : succs) {
     EXPECT_TRUE(s.inserts);
-    EXPECT_FALSE(s.insert_sig.empty());
+    EXPECT_FALSE(s.retrieves);
   }
+  // The inserted tuple's TS-type is the canonical projection of the
+  // shared pre-state (Signature retained as the debug/printing path).
+  EXPECT_FALSE(ctx.TsSignature(cur.iso).empty());
 }
 
 TEST(ChildInterfaceTest, InputProjectionAndRename) {

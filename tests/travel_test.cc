@@ -15,7 +15,7 @@ namespace has {
 namespace {
 
 std::string Load(const std::string& name) {
-  for (const std::string prefix :
+  for (const std::string& prefix :
        {std::string("examples/specs/"), std::string("../examples/specs/"),
         std::string("../../examples/specs/")}) {
     std::ifstream in(prefix + name);
