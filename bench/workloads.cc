@@ -46,6 +46,117 @@ DatabaseSchema CyclicSchema(int size) {
   return schema;
 }
 
+namespace {
+
+/// Shared chain builder for the post-Tables families: a depth-`depth`
+/// task chain over `schema` where every task runs one relation-bound
+/// work service PER entry of `service_rels` (the per-level branching
+/// factor), an artifact relation when `with_sets`, and the same
+/// child-input/output plumbing and hierarchical property as the
+/// Tables 1–2 families.
+Workload ChainWorkload(DatabaseSchema schema, std::string name, int depth,
+                       const std::vector<RelationId>& service_rels,
+                       bool with_sets) {
+  Workload w;
+  w.system.schema() = std::move(schema);
+  w.name = std::move(name);
+
+  TaskId prev = kNoTask;
+  for (int level = 0; level < depth; ++level) {
+    TaskId t = w.system.AddTask(StrCat("T", level), prev);
+    Task& task = w.system.task(t);
+    int x = task.vars().AddVar("x", VarSort::kId);
+    int amount = task.vars().AddVar("amount", VarSort::kNumeric);
+    if (level > 0) {
+      task.AddInput(x, /*parent x=*/0);
+      task.AddOutput(/*parent amount=*/1, amount);
+      task.SetOpeningPre(Condition::Not(Condition::IsNull(0)));
+      LinearExpr close_e = LinearExpr::Var(amount);
+      close_e.AddConstant(Rational(-1));
+      task.SetClosingPre(
+          Condition::Arith(LinearConstraint{close_e, Relop::kEq}));
+    }
+    for (size_t si = 0; si < service_rels.size(); ++si) {
+      RelationId rel = service_rels[si];
+      InternalService svc;
+      svc.name = StrCat("work", si);
+      svc.pre = Condition::True();
+      std::vector<int> args{x};
+      const Relation& r = w.system.schema().relation(rel);
+      for (int a = 1; a < r.arity(); ++a) {
+        if (r.attr(a).kind == AttrKind::kNumeric) {
+          args.push_back(task.vars().AddVar(StrCat("n", si, "_", a),
+                                            VarSort::kNumeric));
+        } else {
+          args.push_back(task.vars().AddVar(StrCat("f", si, "_", a),
+                                            VarSort::kId));
+        }
+      }
+      LinearExpr post_e = LinearExpr::Var(amount);
+      post_e.AddConstant(Rational(-1));
+      svc.post = Condition::And(
+          Condition::Rel(rel, args),
+          Condition::Arith(LinearConstraint{post_e, Relop::kEq}));
+      task.AddInternalService(std::move(svc));
+    }
+    if (with_sets) {
+      task.DeclareSet({x});
+      InternalService store;
+      store.name = "store";
+      store.pre = Condition::Not(Condition::IsNull(x));
+      store.post = Condition::True();
+      store.inserts = true;
+      task.AddInternalService(std::move(store));
+      InternalService load;
+      load.name = "load";
+      load.pre = Condition::True();
+      load.post = Condition::Not(Condition::IsNull(x));
+      load.retrieves = true;
+      task.AddInternalService(std::move(load));
+    }
+    prev = t;
+  }
+
+  for (int level = 0; level < depth; ++level) {
+    HltlNode node;
+    node.task = level;
+    if (level < depth - 1) {
+      node.props.push_back(HltlProp::Child(level + 1));
+    } else {
+      LinearExpr e = LinearExpr::Var(1);  // amount
+      e.AddConstant(Rational(-1));
+      node.props.push_back(HltlProp::Cond(
+          Condition::Arith(LinearConstraint{std::move(e), Relop::kEq})));
+    }
+    LtlPtr body = LtlFormula::Eventually(LtlFormula::Prop(0));
+    if (level == 0) {
+      body = LtlFormula::Always(LtlFormula::Not(LtlFormula::Prop(0)));
+    }
+    node.skeleton = std::move(body);
+    w.property.AddNode(std::move(node));
+  }
+  return w;
+}
+
+}  // namespace
+
+Workload MakeDeepHierarchy(int depth, int size) {
+  if (size < 2) size = 2;
+  std::vector<RelationId> rels{0, 1};
+  return ChainWorkload(AcyclicSchema(size),
+                       StrCat("deep/h", depth, "/n", size), depth, rels,
+                       /*with_sets=*/true);
+}
+
+Workload MakeAdversarialCyclic(int size, int depth) {
+  if (size < 3) size = 3;
+  std::vector<RelationId> rels{0, 1};
+  return ChainWorkload(CyclicSchema(size),
+                       StrCat("adversarial-cyclic/n", size, "/h", depth),
+                       depth, rels,
+                       /*with_sets=*/true);
+}
+
 Workload MakeWorkload(SchemaClass schema_class, int size, int depth,
                       bool with_sets, bool with_arith) {
   Workload w;

@@ -1,0 +1,89 @@
+// Small synchronization primitives for the sharded exploration engine
+// (vass/karp_miller.cc): a reusable rendezvous barrier for the
+// round-lockstep worker team, and a bounded MPSC queue used as the
+// cross-shard successor channel. Both are mutex-based — the hot work
+// (symbolic successor enumeration) dwarfs the synchronization cost, so
+// simplicity and TSan-cleanliness win over lock-free cleverness.
+#ifndef HAS_COMMON_SYNC_H_
+#define HAS_COMMON_SYNC_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+namespace has {
+
+/// Reusable rendezvous barrier: every party blocks in ArriveAndWait
+/// until all `parties` have arrived, then all are released and the
+/// barrier resets for the next phase (generation counter prevents a
+/// fast thread from lapping a slow one).
+class Barrier {
+ public:
+  explicit Barrier(int parties) : parties_(parties), waiting_(0) {}
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  void ArriveAndWait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    size_t generation = generation_;
+    if (++waiting_ == parties_) {
+      waiting_ = 0;
+      ++generation_;
+      cv_.notify_all();
+      return;
+    }
+    cv_.wait(lock, [&] { return generation_ != generation; });
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  int parties_;
+  int waiting_;
+  size_t generation_ = 0;
+};
+
+/// Bounded multi-producer queue with non-blocking push/pop. Producers
+/// that find the queue full must make progress elsewhere (the sharded
+/// explorer drains its own inbound queue when a push fails, which
+/// bounds memory without risking producer/consumer deadlock).
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {
+    ring_.resize(capacity);
+  }
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// False iff the queue is full (the item is left untouched).
+  bool TryPush(T&& item) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (size_ == capacity_) return false;
+    ring_[(head_ + size_) % capacity_] = std::move(item);
+    ++size_;
+    return true;
+  }
+
+  /// False iff the queue is empty.
+  bool TryPop(T* out) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (size_ == 0) return false;
+    *out = std::move(ring_[head_]);
+    head_ = (head_ + 1) % capacity_;
+    --size_;
+    return true;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::vector<T> ring_;
+  size_t capacity_;
+  size_t head_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace has
+
+#endif  // HAS_COMMON_SYNC_H_

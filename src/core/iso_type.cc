@@ -735,6 +735,10 @@ Truth PartialIsoType::Eval(const Condition& cond) const {
   return Truth::kUnknown;
 }
 
+void PartialIsoType::CompressPaths() {
+  for (int e = 0; e < num_elements(); ++e) Find(e);
+}
+
 void PartialIsoType::Normalize() {
   bool changed = true;
   while (changed) {

@@ -131,6 +131,13 @@ class PartialIsoType {
   /// types canonicalize identically.
   void Normalize();
 
+  /// Flattens the union-find so every element points directly at its
+  /// class representative. The TypePool flattens canonical instances
+  /// before publishing them: on a flattened type, Find()'s path
+  /// compression never writes, so const queries on a shared pooled
+  /// instance are data-race-free under concurrent readers.
+  void CompressPaths();
+
   /// Canonical signature (after Normalize); equal signatures iff equal
   /// constraint sets. Retained for printing and debug assertions — the
   /// hot paths key on TypePool ids built from CanonicalEncode below.

@@ -32,6 +32,7 @@ RtQueryKey RtEngine::EntryKey(TaskId task, const PartialIsoType& input_iso,
 }
 
 const RtEngine::Entry* RtEngine::FindEntry(const RtQueryKey& key) const {
+  std::lock_guard<std::mutex> lock(memo_mutex_);
   auto it = memo_.find(key);
   return it == memo_.end() ? nullptr : it->second.get();
 }
@@ -40,74 +41,118 @@ const ChildResult& RtEngine::Query(TaskId task,
                                    const PartialIsoType& input_iso,
                                    const Cell& input_cell, Assignment beta) {
   RtQueryKey key = EntryKey(task, input_iso, input_cell, beta);
-  auto it = memo_.find(key);
-  if (it != memo_.end()) return it->second->result;
+  return QueryByKey(key, input_iso, input_cell);
+}
 
-  ++stats_.queries;
-  auto entry = std::make_unique<Entry>();
-  entry->task = task;
+RtOracle::BatchedChildResult RtEngine::QueryAll(
+    TaskId task, const PartialIsoType& input_iso, const Cell& input_cell,
+    Assignment num_assignments) {
+  // One input interning serves every assignment's key and lookup.
+  RtQueryKey key = EntryKey(task, input_iso, input_cell, 0);
+  BatchedChildResult batch;
+  batch.results.reserve(num_assignments);
+  batch.keys.reserve(num_assignments);
+  for (Assignment beta = 0; beta < num_assignments; ++beta) {
+    key.beta = beta;
+    batch.keys.push_back(key);
+    batch.results.push_back(&QueryByKey(key, input_iso, input_cell));
+  }
+  return batch;
+}
+
+const ChildResult& RtEngine::QueryByKey(const RtQueryKey& key,
+                                        const PartialIsoType& input_iso,
+                                        const Cell& input_cell) {
+  Entry* entry;
+  {
+    std::lock_guard<std::mutex> lock(memo_mutex_);
+    std::unique_ptr<Entry>& slot = memo_[key];
+    if (slot == nullptr) slot = std::make_unique<Entry>();
+    entry = slot.get();
+  }
+  if (entry->ready.load(std::memory_order_acquire)) return entry->result;
+  std::lock_guard<std::mutex> build_lock(entry->build_mutex);
+  if (entry->ready.load(std::memory_order_relaxed)) return entry->result;
+  ComputeEntry(key, input_iso, input_cell, entry);
+  entry->ready.store(true, std::memory_order_release);
+  return entry->result;
+}
+
+void RtEngine::ComputeEntry(const RtQueryKey& key,
+                            const PartialIsoType& input_iso,
+                            const Cell& input_cell, Entry* entry) {
+  entry->task = key.task;
   const Condition* filter =
-      task == system_->root() ? system_->global_pre().get() : nullptr;
+      key.task == system_->root() ? system_->global_pre().get() : nullptr;
   entry->vass = std::make_unique<TaskVass>(
-      context_ptrs_.at(task), &context_ptrs_, automata_.get(), &pool_, beta,
-      input_iso, input_cell, this, filter);
+      context_ptrs_.at(key.task), &context_ptrs_, automata_.get(), &pool_,
+      key.beta, input_iso, input_cell, this, filter);
   KarpMillerOptions km_options;
   km_options.max_nodes = options_.max_cov_nodes;
+  km_options.succ_cache_capacity = options_.succ_cache_capacity;
+  // Take the shard token if free: the outermost in-flight exploration
+  // gets the worker team; nested child builds (reached from its
+  // workers) run sequential instead of multiplying threads per level.
+  int expected = 0;
+  const bool shard_this =
+      options_.num_shards > 1 &&
+      sharded_builds_.compare_exchange_strong(expected, 1);
+  km_options.num_shards = shard_this ? options_.num_shards : 1;
   entry->graph = std::make_unique<KarpMiller>(entry->vass.get(), km_options);
-  // NOTE: the memo entry must be registered BEFORE Build so that
-  // re-entrant queries of the same key cannot occur (the hierarchy is a
-  // tree, so recursion only descends to children — this is belt and
-  // braces for stats accounting).
-  Entry* raw = entry.get();
-  memo_.emplace(key, std::move(entry));
-  raw->graph->Build(raw->vass->InitialStates());
+  entry->graph->Build(entry->vass->InitialStates());
+  if (shard_this) sharded_builds_.store(0);
 
-  stats_.cov_nodes += raw->graph->num_nodes();
-  stats_.cov_edges += raw->graph->TotalEdges();
-  stats_.product_states += raw->vass->num_states();
-  stats_.counter_dims =
-      std::max(stats_.counter_dims,
-               static_cast<size_t>(raw->vass->num_dimensions()));
-  stats_.pooled_types = pool_.num_types();
-  stats_.pooled_cells = pool_.num_cells();
-  stats_.truncated =
-      stats_.truncated || raw->graph->truncated() || raw->vass->truncated();
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.queries;
+    stats_.cov_nodes += entry->graph->num_nodes();
+    stats_.cov_edges += entry->graph->TotalEdges();
+    stats_.product_states += entry->vass->num_states();
+    stats_.counter_dims =
+        std::max(stats_.counter_dims,
+                 static_cast<size_t>(entry->vass->num_dimensions()));
+    stats_.pooled_types = pool_.num_types();
+    stats_.pooled_cells = pool_.num_cells();
+    stats_.succ_cache_hits += entry->graph->succ_cache_hits();
+    stats_.succ_cache_misses += entry->graph->succ_cache_misses();
+    stats_.truncated = stats_.truncated || entry->graph->truncated() ||
+                       entry->vass->truncated();
+  }
 
   // Returning outputs: deduplicate by interned (type, cell) outcome id.
   std::unordered_set<std::pair<TypeId, CellId>, PairHash<TypeId, CellId>>
       seen_outputs;
-  for (int n = 0; n < raw->graph->num_nodes(); ++n) {
-    int state = raw->graph->node_state(n);
-    if (!raw->vass->IsReturning(state)) continue;
-    ChildOutcome out = raw->vass->OutputOf(state);
+  for (int n = 0; n < entry->graph->num_nodes(); ++n) {
+    int state = entry->graph->node_state(n);
+    if (!entry->vass->IsReturning(state)) continue;
+    ChildOutcome out = entry->vass->OutputOf(state);
     std::pair<TypeId, CellId> out_key{pool_.Intern(out.iso),
                                       pool_.InternCell(out.cell)};
     if (!seen_outputs.insert(out_key).second) continue;
     out.iso = pool_.type(out_key.first);  // canonical representative
-    raw->result.returning.push_back(std::move(out));
-    raw->returning_nodes.push_back(n);
+    entry->result.returning.push_back(std::move(out));
+    entry->returning_nodes.push_back(n);
   }
   // Blocking runs.
-  for (int n = 0; n < raw->graph->num_nodes(); ++n) {
-    if (raw->vass->IsBlocking(raw->graph->node_state(n))) {
-      raw->blocking_node = n;
-      raw->result.has_bottom = true;
+  for (int n = 0; n < entry->graph->num_nodes(); ++n) {
+    if (entry->vass->IsBlocking(entry->graph->node_state(n))) {
+      entry->blocking_node = n;
+      entry->result.has_bottom = true;
       break;
     }
   }
   // Lasso runs (only needed if no blocking witness was found, but the
   // lasso witness is nicer for counterexamples, so compute it anyway
   // unless the graph is large).
-  if (!raw->result.has_bottom || raw->graph->num_nodes() < 20000) {
+  if (!entry->result.has_bottom || entry->graph->num_nodes() < 20000) {
     RepeatedReachabilityOptions rr;
     rr.effect_bound = options_.lasso_effect_bound;
     rr.max_steps = options_.lasso_max_steps;
-    raw->lasso = FindAcceptingLasso(
-        *raw->graph,
-        [&](int state) { return raw->vass->IsBuchiAccepting(state); }, rr);
-    if (raw->lasso.has_value()) raw->result.has_bottom = true;
+    entry->lasso = FindAcceptingLasso(
+        *entry->graph,
+        [&](int state) { return entry->vass->IsBuchiAccepting(state); }, rr);
+    if (entry->lasso.has_value()) entry->result.has_bottom = true;
   }
-  return raw->result;
 }
 
 RtEngine::RootWitness RtEngine::CheckRoot() {

@@ -10,8 +10,10 @@
 #ifndef HAS_CORE_RT_RELATION_H_
 #define HAS_CORE_RT_RELATION_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -33,6 +35,10 @@ struct RtStats {
   /// Canonical types / cells hash-consed in the engine's shared pool.
   size_t pooled_types = 0;
   size_t pooled_cells = 0;
+  /// Successor-cache accounting across all coverability explorations
+  /// (one hit or miss per processed coverability node).
+  size_t succ_cache_hits = 0;
+  size_t succ_cache_misses = 0;
   bool truncated = false;
 };
 
@@ -51,6 +57,12 @@ class RtEngine : public RtOracle {
                    const Cell& input_cell, Assignment beta) override {
     return EntryKey(task, input_iso, input_cell, beta);
   }
+  /// Batched per-child query: interns the input ONCE and reuses the
+  /// interned ids for every β's key and memo lookup (the per-β loop
+  /// previously interned the input twice per assignment).
+  BatchedChildResult QueryAll(TaskId task, const PartialIsoType& input_iso,
+                              const Cell& input_cell,
+                              Assignment num_assignments) override;
 
   struct RootWitness {
     bool satisfiable = false;
@@ -84,6 +96,13 @@ class RtEngine : public RtOracle {
     int blocking_node = -1;
     std::optional<LassoWitness> lasso;
     TaskId task = kNoTask;
+    /// Build latch: concurrent queriers of an uncomputed entry block on
+    /// `build_mutex` while the first one explores; `ready` flips (with
+    /// release semantics) once `result` is safe to read without the
+    /// lock. The hierarchy is a tree, so entry locks only nest downward
+    /// and cannot deadlock.
+    std::mutex build_mutex;
+    std::atomic<bool> ready{false};
   };
   const Entry* FindEntry(const RtQueryKey& key) const;
   /// Interns the query input into the pool and returns the memo key.
@@ -91,6 +110,16 @@ class RtEngine : public RtOracle {
                       const Cell& input_cell, Assignment beta);
 
  private:
+  /// Memoized lookup by precomputed key; computes the entry on first
+  /// demand (blocking concurrent queriers of the same key).
+  const ChildResult& QueryByKey(const RtQueryKey& key,
+                                const PartialIsoType& input_iso,
+                                const Cell& input_cell);
+  /// Runs the exploration for `key` and fills `entry` (caller holds the
+  /// entry's build mutex).
+  void ComputeEntry(const RtQueryKey& key, const PartialIsoType& input_iso,
+                    const Cell& input_cell, Entry* entry);
+
   const ArtifactSystem* system_;
   const HltlProperty* property_;
   VerifierOptions options_;
@@ -99,9 +128,20 @@ class RtEngine : public RtOracle {
   std::unique_ptr<PropertyAutomata> automata_;
   std::map<TaskId, std::unique_ptr<TaskContext>> contexts_;
   std::map<TaskId, const TaskContext*> context_ptrs_;
+  /// Guards the memo map itself; entries are heap-owned, so references
+  /// survive concurrent insertions.
+  mutable std::mutex memo_mutex_;
   std::unordered_map<RtQueryKey, std::unique_ptr<Entry>, RtQueryKeyHash>
       memo_;
+  std::mutex stats_mutex_;
   RtStats stats_;
+  /// Thread-budget token: only one exploration shards at a time.
+  /// Child queries triggered from inside a sharded build (its workers'
+  /// prepare phase) run sequential — otherwise every nesting level
+  /// would multiply the worker count (num_shards^depth threads). The
+  /// sharded and sequential builds produce identical graphs, so this
+  /// is purely a scheduling decision.
+  std::atomic<int> sharded_builds_{0};
 };
 
 }  // namespace has

@@ -1,0 +1,44 @@
+// Shard assignment for partitioned coverability exploration: a node of
+// the Karp–Miller graph is identified by its (VASS state, marking) key,
+// and the ShardMap hashes that key to the worker shard that owns it —
+// i.e. that dedups, interns and expands it. Ownership by hashed key
+// makes the partition deterministic for a fixed input (states are
+// pool-interned ids assigned in deterministic commit order) and
+// balanced without coordination: two shards never race on the same key
+// because equal keys always map to the same shard.
+#ifndef HAS_CORE_SHARD_MAP_H_
+#define HAS_CORE_SHARD_MAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hashing.h"
+
+namespace has {
+
+class ShardMap {
+ public:
+  explicit ShardMap(int num_shards) : num_shards_(num_shards) {}
+
+  int num_shards() const { return num_shards_; }
+
+  /// Owner shard of the node key (state, marking). Markings arrive in
+  /// canonical form (trailing zeros stripped), so equal nodes hash
+  /// identically.
+  int ShardOf(int state, const std::vector<int64_t>& marking) const {
+    size_t seed = static_cast<size_t>(state);
+    for (int64_t v : marking) HashMix(&seed, v);
+    // Fold the high bits in: the bucket maps downstream consume the low
+    // bits, and reusing them verbatim would correlate shard and bucket.
+    // (Half-width shift: defined on 32-bit size_t too.)
+    HashCombine(&seed, seed >> (sizeof(size_t) * 4));
+    return static_cast<int>(seed % static_cast<size_t>(num_shards_));
+  }
+
+ private:
+  int num_shards_;
+};
+
+}  // namespace has
+
+#endif  // HAS_CORE_SHARD_MAP_H_

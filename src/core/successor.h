@@ -38,6 +38,14 @@ struct VerifierOptions {
   /// Repeated-reachability search knobs (see vass/repeated.h).
   int64_t lasso_effect_bound = 128;
   size_t lasso_max_steps = 1 << 20;
+  /// Worker shards per coverability exploration: 1 = the sequential
+  /// explorer; > 1 shards Karp–Miller frontiers across that many
+  /// threads. The sharded build is deterministic and produces a graph
+  /// identical to the single-shard one, node for node.
+  int num_shards = 1;
+  /// Bound on each exploration's successor cache (distinct product
+  /// states kept; least-recently-used entries beyond are evicted).
+  size_t succ_cache_capacity = 1 << 14;
 };
 
 /// A symbolic configuration of one task: equality component + cell.

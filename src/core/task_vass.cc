@@ -47,6 +47,21 @@ int TaskVass::InternState(State s) {
   return candidate;
 }
 
+int64_t TaskVass::InternRecord(TransitionRecord rec) {
+  RecordKey key;
+  key.service = rec.service;
+  key.target = rec.target_state;
+  key.child_beta = rec.child_beta;
+  key.child_key = rec.child_key;
+  key.child_result_index = rec.child_result_index;
+  auto it = record_index_.find(key);
+  if (it != record_index_.end()) return it->second;
+  int64_t label = static_cast<int64_t>(records_.size());
+  records_.push_back(std::move(rec));
+  record_index_.emplace(key, label);
+  return label;
+}
+
 int TaskVass::DimOf(TypeId ts) {
   auto it = dim_index_.find(ts);
   if (it != dim_index_.end()) return it->second;
@@ -149,46 +164,37 @@ std::vector<int> TaskVass::InitialStates() {
   return out;
 }
 
-void TaskVass::EmitEdges(const State& from, const SymbolicConfig& next,
-                         const ServiceRef& service, TaskId opened_child,
-                         Assignment child_beta, const Delta& delta,
-                         std::vector<ChildStage> stages,
-                         std::vector<int> ib_bits, const std::string& note,
-                         std::vector<VassEdge>* out, bool from_initial) {
-  (void)from_initial;
+TaskVass::PendingEdge* TaskVass::EmitPending(const State& from,
+                                             const SymbolicConfig& next,
+                                             const ServiceRef& service,
+                                             TaskId opened_child,
+                                             Assignment child_beta,
+                                             const std::string& note,
+                                             PendingSuccessors* pending) {
   std::vector<bool> letter = MakeLetter(next, service, opened_child,
                                         child_beta);
-  std::sort(ib_bits.begin(), ib_bits.end());
-  TypeId next_iso = InternIso(next.iso);
-  CellId next_cell = InternCell(next.cell);
+  PendingEdge pe;
+  pe.next_iso = InternIso(next.iso);
+  pe.next_cell = InternCell(next.cell);
+  pe.service = service;
+  pe.child_beta = child_beta;
+  pe.note = note;
   for (int q2 : buchi_->successors(from.q)) {
-    if (!buchi_->CompatibleWith(q2, letter)) continue;
-    State s;
-    s.iso = next_iso;
-    s.cell = next_cell;
-    s.service = service;
-    s.q = q2;
-    s.stages = stages;
-    s.ib_bits = ib_bits;
-    int target = InternState(std::move(s));
-    TransitionRecord rec;
-    rec.service = service;
-    rec.target_state = target;
-    rec.child_beta = child_beta;
-    rec.note = note;
-    int64_t label = static_cast<int64_t>(records_.size());
-    records_.push_back(std::move(rec));
-    out->push_back(VassEdge{target, delta, label});
+    if (buchi_->CompatibleWith(q2, letter)) pe.q2s.push_back(q2);
   }
+  pending->edges.push_back(std::move(pe));
+  return &pending->edges.back();
 }
 
-void TaskVass::Successors(int state, std::vector<VassEdge>* out) {
+std::unique_ptr<VassSystem::Prepared> TaskVass::PrepareSuccessors(
+    int state) {
+  auto pending = std::make_unique<PendingSuccessors>();
   const State snapshot = states_[state];
   const Task& task = ctx_->task();
   // Returned states are absorbing.
   if (snapshot.service.kind == ServiceRef::Kind::kClosing &&
       snapshot.service.task == ctx_->task_id()) {
-    return;
+    return pending;
   }
   SymbolicConfig cur{pool_->type(snapshot.iso), pool_->cell(snapshot.cell)};
 
@@ -209,7 +215,7 @@ void TaskVass::Successors(int state, std::vector<VassEdge>* out) {
       bool truncated = false;
       std::vector<InternalSuccessor> succs =
           EnumerateInternal(*ctx_, cur, svc, &truncated);
-      truncated_ = truncated_ || truncated;
+      pending->truncated = pending->truncated || truncated;
       // The inserted TS-type is the projection of the CURRENT state, so
       // it is identical across every successor of this service: intern
       // it once (the retrieved type varies per successor).
@@ -218,45 +224,46 @@ void TaskVass::Successors(int state, std::vector<VassEdge>* out) {
         insert_ts = pool_->InternNormalized(ctx_->TsType(cur.iso));
       }
       for (InternalSuccessor& s : succs) {
-        Delta delta;
-        std::vector<int> ib = snapshot.ib_bits;
-        bool feasible = true;
-        if (s.inserts) {
-          if (s.insert_input_bound) {
-            int id = IbIdOf(insert_ts);
-            if (std::find(ib.begin(), ib.end(), id) == ib.end()) {
-              ib.push_back(id);
-            }
-          } else {
-            delta.emplace_back(DimOf(insert_ts), 1);
-          }
-        }
+        TypeId retrieve_ts = kNoTypeId;
         if (s.retrieves) {
-          TypeId ts = pool_->InternNormalized(std::move(s.retrieve_ts));
+          retrieve_ts = pool_->InternNormalized(std::move(s.retrieve_ts));
           if (s.retrieve_input_bound) {
-            int id = IbIdOf(ts);
-            auto it = std::find(ib.begin(), ib.end(), id);
-            if (it == ib.end()) {
-              feasible = false;  // nothing of this type in the set
-            } else {
-              ib.erase(it);
-            }
-          } else {
-            delta.emplace_back(DimOf(ts), -1);
+            // Read-only feasibility precheck (ib-bit ALLOCATION stays
+            // in the commit): the retrieve can only succeed when the
+            // bit is already in the state's set, or when this same
+            // transition inserts the identical TS type. Skipping here
+            // saves the letter/interning/Büchi work for successors the
+            // commit would drop anyway. ib_index_ is only mutated by
+            // commits, which never overlap prepares.
+            auto it = ib_index_.find(retrieve_ts);
+            bool in_set =
+                it != ib_index_.end() &&
+                std::find(snapshot.ib_bits.begin(), snapshot.ib_bits.end(),
+                          it->second) != snapshot.ib_bits.end();
+            bool inserted_same = s.inserts && s.insert_input_bound &&
+                                 insert_ts == retrieve_ts;
+            if (!in_set && !inserted_same) continue;
           }
         }
-        if (!feasible) continue;
-        std::vector<ChildStage> stages(task.children().size(),
-                                       ChildStage{});
-        EmitEdges(snapshot, s.next,
-                  ServiceRef::Internal(ctx_->task_id(), static_cast<int>(i)),
-                  kNoTask, 0, delta, std::move(stages), std::move(ib),
-                  svc.name, out, false);
+        PendingEdge* pe = EmitPending(
+            snapshot, s.next,
+            ServiceRef::Internal(ctx_->task_id(), static_cast<int>(i)),
+            kNoTask, 0, svc.name, pending.get());
+        pe->fresh_stages = true;
+        pe->inserts = s.inserts;
+        pe->insert_input_bound = s.insert_input_bound;
+        pe->insert_ts = insert_ts;
+        if (s.retrieves) {
+          pe->retrieves = true;
+          pe->retrieve_input_bound = s.retrieve_input_bound;
+          pe->retrieve_ts = retrieve_ts;
+        }
       }
     }
   }
 
-  // (B) Open a child (at most once per segment).
+  // (B) Open a child (at most once per segment). The oracle round-trip
+  // is batched per child: one input interning covers every β_c.
   for (size_t c = 0; c < task.children().size(); ++c) {
     if (snapshot.stages[c].kind != ChildStage::Kind::kInit) continue;
     TaskId child_id = task.children()[c];
@@ -266,38 +273,33 @@ void TaskVass::Successors(int state, std::vector<VassEdge>* out) {
     PartialIsoType child_in = ChildInputIso(*ctx_, *child_ctx, cur);
     Cell child_in_cell = ChildInputCell(*ctx_, *child_ctx, cur);
     int num_assignments = all_automata_->ForTask(child_id).num_assignments();
+    RtOracle::BatchedChildResult batch = oracle_->QueryAll(
+        child_id, child_in, child_in_cell,
+        static_cast<Assignment>(num_assignments));
     for (Assignment bc = 0;
          bc < static_cast<Assignment>(num_assignments); ++bc) {
-      const ChildResult& result =
-          oracle_->Query(child_id, child_in, child_in_cell, bc);
-      RtQueryKey entry_key =
-          oracle_->KeyOf(child_id, child_in, child_in_cell, bc);
+      const ChildResult& result = *batch.results[bc];
       for (size_t oi = 0; oi < result.returning.size(); ++oi) {
-        ChildOutcome copy = result.returning[oi];
-        int outcome = InternOutcome(std::move(copy));
-        std::vector<ChildStage> stages = snapshot.stages;
-        stages[c] = ChildStage{ChildStage::Kind::kActive, outcome, bc};
-        size_t first_record = records_.size();
-        EmitEdges(snapshot, cur, ServiceRef::Opening(child_id), child_id, bc,
-                  {}, std::move(stages), snapshot.ib_bits,
-                  StrCat("open ", child.name()), out, false);
-        for (size_t ri = first_record; ri < records_.size(); ++ri) {
-          records_[ri].child_key = entry_key;
-          records_[ri].child_result_index = static_cast<int>(oi);
-        }
+        PendingEdge* pe = EmitPending(snapshot, cur,
+                                      ServiceRef::Opening(child_id),
+                                      child_id, bc,
+                                      StrCat("open ", child.name()),
+                                      pending.get());
+        pe->stage_child = static_cast<int>(c);
+        pe->stage_kind = ChildStage::Kind::kActive;
+        pe->outcome_src = &result.returning[oi];
+        pe->child_key = batch.keys[bc];
+        pe->child_result_index = static_cast<int>(oi);
       }
       if (result.has_bottom) {
-        std::vector<ChildStage> stages = snapshot.stages;
-        stages[c] = ChildStage{ChildStage::Kind::kActiveBottom, -1, bc};
-        size_t first_record = records_.size();
-        EmitEdges(snapshot, cur, ServiceRef::Opening(child_id), child_id, bc,
-                  {}, std::move(stages), snapshot.ib_bits,
-                  StrCat("open ", child.name(), " (non-returning)"), out,
-                  false);
-        for (size_t ri = first_record; ri < records_.size(); ++ri) {
-          records_[ri].child_key = entry_key;
-          records_[ri].child_result_index = -1;
-        }
+        PendingEdge* pe = EmitPending(
+            snapshot, cur, ServiceRef::Opening(child_id), child_id, bc,
+            StrCat("open ", child.name(), " (non-returning)"),
+            pending.get());
+        pe->stage_child = static_cast<int>(c);
+        pe->stage_kind = ChildStage::Kind::kActiveBottom;
+        pe->child_key = batch.keys[bc];
+        pe->child_result_index = -1;
       }
     }
   }
@@ -311,15 +313,14 @@ void TaskVass::Successors(int state, std::vector<VassEdge>* out) {
     bool truncated = false;
     std::vector<SymbolicConfig> nexts = ApplyChildReturn(
         *ctx_, *child_ctx, cur, o.iso, o.cell, &truncated);
-    truncated_ = truncated_ || truncated;
+    pending->truncated = pending->truncated || truncated;
     for (SymbolicConfig& next : nexts) {
-      std::vector<ChildStage> stages = snapshot.stages;
-      stages[c] =
-          ChildStage{ChildStage::Kind::kClosed, -1, snapshot.stages[c].beta};
-      EmitEdges(snapshot, next, ServiceRef::Closing(child_id), kNoTask, 0,
-                {}, std::move(stages), snapshot.ib_bits,
-                StrCat("close ", ctx_->system().task(child_id).name()), out,
-                false);
+      PendingEdge* pe = EmitPending(
+          snapshot, next, ServiceRef::Closing(child_id), kNoTask, 0,
+          StrCat("close ", ctx_->system().task(child_id).name()),
+          pending.get());
+      pe->stage_child = static_cast<int>(c);
+      pe->stage_kind = ChildStage::Kind::kClosed;
     }
   }
 
@@ -327,10 +328,88 @@ void TaskVass::Successors(int state, std::vector<VassEdge>* out) {
   // has returned).
   if (!any_active && !ctx_->task().is_root() &&
       ctx_->EvalSym(*task.closing_pre(), cur) == Truth::kTrue) {
-    EmitEdges(snapshot, cur, ServiceRef::Closing(ctx_->task_id()), kNoTask,
-              0, {}, snapshot.stages, snapshot.ib_bits, "close self", out,
-              false);
+    EmitPending(snapshot, cur, ServiceRef::Closing(ctx_->task_id()), kNoTask,
+                0, "close self", pending.get());
   }
+  return pending;
+}
+
+void TaskVass::CommitSuccessors(int state, std::unique_ptr<Prepared> prepared,
+                                std::vector<VassEdge>* out) {
+  auto* pending = static_cast<PendingSuccessors*>(prepared.get());
+  if (pending == nullptr) return;
+  truncated_ = truncated_ || pending->truncated;
+  const State snapshot = states_[state];
+  const Task& task = ctx_->task();
+  for (PendingEdge& pe : pending->edges) {
+    // Resolve artifact-relation bookkeeping to counter dimensions / ib
+    // bits. Allocation order (inserts before retrieves, pending-edge
+    // order across successors) matches the historical enumeration, so
+    // dimension numbering is reproducible.
+    Delta delta;
+    std::vector<int> ib = snapshot.ib_bits;
+    bool feasible = true;
+    if (pe.inserts) {
+      if (pe.insert_input_bound) {
+        int id = IbIdOf(pe.insert_ts);
+        if (std::find(ib.begin(), ib.end(), id) == ib.end()) {
+          ib.push_back(id);
+        }
+      } else {
+        delta.emplace_back(DimOf(pe.insert_ts), 1);
+      }
+    }
+    if (pe.retrieves) {
+      if (pe.retrieve_input_bound) {
+        int id = IbIdOf(pe.retrieve_ts);
+        auto it = std::find(ib.begin(), ib.end(), id);
+        if (it == ib.end()) {
+          feasible = false;  // nothing of this type in the set
+        } else {
+          ib.erase(it);
+        }
+      } else {
+        delta.emplace_back(DimOf(pe.retrieve_ts), -1);
+      }
+    }
+    if (!feasible) continue;
+    std::vector<ChildStage> stages =
+        pe.fresh_stages ? std::vector<ChildStage>(task.children().size())
+                        : snapshot.stages;
+    if (!pe.fresh_stages && pe.stage_child >= 0) {
+      int outcome = -1;
+      Assignment beta = pe.child_beta;
+      if (pe.stage_kind == ChildStage::Kind::kActive) {
+        outcome = InternOutcome(*pe.outcome_src);
+      } else if (pe.stage_kind == ChildStage::Kind::kClosed) {
+        beta = snapshot.stages[pe.stage_child].beta;
+      }
+      stages[pe.stage_child] = ChildStage{pe.stage_kind, outcome, beta};
+    }
+    std::sort(ib.begin(), ib.end());
+    for (int q2 : pe.q2s) {
+      State s;
+      s.iso = pe.next_iso;
+      s.cell = pe.next_cell;
+      s.service = pe.service;
+      s.q = q2;
+      s.stages = stages;
+      s.ib_bits = ib;
+      int target = InternState(std::move(s));
+      TransitionRecord rec;
+      rec.service = pe.service;
+      rec.target_state = target;
+      rec.child_beta = pe.child_beta;
+      rec.child_key = pe.child_key;
+      rec.child_result_index = pe.child_result_index;
+      rec.note = pe.note;
+      out->push_back(VassEdge{target, delta, InternRecord(std::move(rec))});
+    }
+  }
+}
+
+void TaskVass::Successors(int state, std::vector<VassEdge>* out) {
+  CommitSuccessors(state, PrepareSuccessors(state), out);
 }
 
 bool TaskVass::IsReturning(int state) const {

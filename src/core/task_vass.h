@@ -67,7 +67,8 @@ struct RtQueryKeyHash {
 };
 
 /// Interface the product uses to query children (implemented by the
-/// RtEngine with memoization; Lemma 21's recursion).
+/// RtEngine with memoization; Lemma 21's recursion). Implementations
+/// must be safe to call from concurrent product workers.
 class RtOracle {
  public:
   virtual ~RtOracle() = default;
@@ -79,6 +80,31 @@ class RtOracle {
   /// input into the oracle's pool, hence non-const.
   virtual RtQueryKey KeyOf(TaskId child, const PartialIsoType& input_iso,
                            const Cell& input_cell, Assignment beta) = 0;
+
+  /// One child's queries for EVERY assignment in [0, num_assignments),
+  /// batched: result pointers and memo keys are parallel, indexed by β.
+  /// Result references stay valid for the oracle's lifetime. The
+  /// batched form lets the engine intern the input once instead of
+  /// twice per β (Query + KeyOf), which is what the product's opening
+  /// loop previously paid. Engines override this with a sharper
+  /// implementation; the default delegates per β.
+  struct BatchedChildResult {
+    std::vector<const ChildResult*> results;  ///< indexed by β
+    std::vector<RtQueryKey> keys;             ///< indexed by β
+  };
+  virtual BatchedChildResult QueryAll(TaskId child,
+                                      const PartialIsoType& input_iso,
+                                      const Cell& input_cell,
+                                      Assignment num_assignments) {
+    BatchedChildResult batch;
+    batch.results.reserve(num_assignments);
+    batch.keys.reserve(num_assignments);
+    for (Assignment beta = 0; beta < num_assignments; ++beta) {
+      batch.results.push_back(&Query(child, input_iso, input_cell, beta));
+      batch.keys.push_back(KeyOf(child, input_iso, input_cell, beta));
+    }
+    return batch;
+  }
 };
 
 /// Child stage within the current segment.
@@ -127,7 +153,22 @@ class TaskVass : public VassSystem {
   /// Builds and interns the initial states; returns their ids.
   std::vector<int> InitialStates();
 
+  /// Equivalent to CommitSuccessors(state, PrepareSuccessors(state)).
   void Successors(int state, std::vector<VassEdge>* out) override;
+
+  // --- sharded-exploration protocol ------------------------------------
+  // Prepare runs the expensive symbolic work (successor enumeration,
+  // condition evaluation, child-oracle queries, pool interning) and is
+  // safe to call concurrently: it only reads product state and goes
+  // through thread-safe components (TypePool, RtOracle). Commit applies
+  // the cheap mutations (state/dimension/ib-bit/outcome/record
+  // interning); the explorer serializes commits in the sequential
+  // explorer's order, which keeps all product-internal numbering
+  // deterministic and schedule-independent.
+  bool SupportsConcurrentPrepare() const override { return true; }
+  std::unique_ptr<Prepared> PrepareSuccessors(int state) override;
+  void CommitSuccessors(int state, std::unique_ptr<Prepared> prepared,
+                        std::vector<VassEdge>* out) override;
 
   // --- state inspection (used by the RT computation) -------------------
   int num_states() const { return static_cast<int>(states_.size()); }
@@ -206,11 +247,43 @@ class TaskVass : public VassSystem {
     }
   };
 
+  /// Identity of a TransitionRecord: everything decoding needs. The
+  /// note string is derived from the service identity, so it is not
+  /// part of the key. Records are interned so that a successor
+  /// recomputation (after the explorer's bounded cache evicted a
+  /// state's edge list) reproduces the ORIGINAL labels — Successors is
+  /// idempotent and the graph stays schedule- and eviction-independent.
+  struct RecordKey {
+    ServiceRef service;
+    int target = -1;
+    Assignment child_beta = 0;
+    RtQueryKey child_key;
+    int child_result_index = -1;
+
+    bool operator==(const RecordKey& o) const {
+      return service == o.service && target == o.target &&
+             child_beta == o.child_beta && child_key == o.child_key &&
+             child_result_index == o.child_result_index;
+    }
+  };
+  struct RecordKeyHash {
+    size_t operator()(const RecordKey& k) const {
+      size_t seed = k.service.Hash();
+      HashMix(&seed, k.target);
+      HashMix(&seed, k.child_beta);
+      HashCombine(&seed, RtQueryKeyHash{}(k.child_key));
+      HashMix(&seed, k.child_result_index);
+      return seed;
+    }
+  };
+
   /// Interns an already-normalized iso type (the enumeration emits
   /// normalized configurations); a pool hit is copy-free.
   TypeId InternIso(const PartialIsoType& iso);
   CellId InternCell(const Cell& cell);
   int InternState(State s);
+  /// Label of the transition record (allocating on first sight).
+  int64_t InternRecord(TransitionRecord rec);
   /// Counter dimension of a TS-type (allocating on first sight).
   int DimOf(TypeId ts);
   /// Input-bound bit id of a TS-type (allocating on first sight).
@@ -222,13 +295,48 @@ class TaskVass : public VassSystem {
                                const ServiceRef& service, TaskId opened_child,
                                Assignment child_beta) const;
 
-  /// Pushes edges for all Büchi-compatible q successors.
-  void EmitEdges(const State& from_template, const SymbolicConfig& next,
-                 const ServiceRef& service, TaskId opened_child,
-                 Assignment child_beta, const Delta& delta,
-                 std::vector<ChildStage> stages, std::vector<int> ib_bits,
-                 const std::string& note, std::vector<VassEdge>* out,
-                 bool from_initial);
+  /// One prepared (not yet committed) product transition: the target
+  /// configuration is already pool-interned and the Büchi-compatible
+  /// successor states are precomputed; everything that allocates
+  /// product-local ids (counter dimensions, ib bits, outcomes, states,
+  /// records) is deferred to the commit.
+  struct PendingEdge {
+    TypeId next_iso = kNoTypeId;
+    CellId next_cell = kNoCellId;
+    ServiceRef service;
+    Assignment child_beta = 0;
+    std::vector<int> q2s;  ///< compatible Büchi successors of from.q
+    /// Artifact-relation bookkeeping ((A) transitions), resolved to
+    /// counter dimensions / ib bits at commit time.
+    bool inserts = false;
+    bool insert_input_bound = false;
+    TypeId insert_ts = kNoTypeId;
+    bool retrieves = false;
+    bool retrieve_input_bound = false;
+    TypeId retrieve_ts = kNoTypeId;
+    /// Child-stage rewrite: (A) resets all stages, (B)/(C) rewrite one
+    /// child's stage; a kActive outcome is interned at commit from
+    /// `outcome_src` (a pointer into the oracle's immutable result).
+    bool fresh_stages = false;
+    int stage_child = -1;
+    ChildStage::Kind stage_kind = ChildStage::Kind::kInit;
+    const ChildOutcome* outcome_src = nullptr;
+    RtQueryKey child_key;
+    int child_result_index = -1;
+    std::string note;
+  };
+  struct PendingSuccessors : Prepared {
+    std::vector<PendingEdge> edges;
+    bool truncated = false;
+  };
+
+  /// Appends a PendingEdge for the transition into `next` (computing
+  /// the letter and the compatible Büchi successors); the caller fills
+  /// in the transition-specific bookkeeping on the returned edge.
+  PendingEdge* EmitPending(const State& from, const SymbolicConfig& next,
+                           const ServiceRef& service, TaskId opened_child,
+                           Assignment child_beta, const std::string& note,
+                           PendingSuccessors* pending);
 
   const TaskContext* ctx_;
   const std::map<TaskId, const TaskContext*>* child_ctxs_;
@@ -267,6 +375,7 @@ class TaskVass : public VassSystem {
   std::vector<ChildOutcome> outcomes_;
   std::unordered_map<OutcomeKey, int, OutcomeKeyHash> outcome_index_;
   std::vector<TransitionRecord> records_;
+  std::unordered_map<RecordKey, int64_t, RecordKeyHash> record_index_;
   bool truncated_ = false;
 };
 

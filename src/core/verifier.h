@@ -34,7 +34,12 @@ struct VerifyResult {
   int hcd_polys = 0;
 };
 
-/// Model-checks `property` against `system`.
+/// Model-checks `property` against `system`. With
+/// VerifierOptions::num_shards > 1 the coverability explorations run
+/// sharded across worker threads; the verdict, counterexample and
+/// exploration statistics are identical to the sequential run (the
+/// sharded Karp–Miller graph is deterministic and node-identical to
+/// the single-shard one).
 VerifyResult Verify(const ArtifactSystem& system,
                     const HltlProperty& property,
                     const VerifierOptions& options = {});

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "hltl/hltl.h"
@@ -38,7 +39,9 @@ class TaskAutomata {
   /// The unified proposition table shared by all assignments of T.
   const std::vector<HltlProp>& props() const { return props_; }
 
-  /// B(T, β); built on first use and cached.
+  /// B(T, β); built on first use and cached. Thread-safe: concurrent
+  /// RT queries construct their products from worker threads, and a
+  /// returned reference stays valid for the automata's lifetime.
   const BuchiAutomaton& automaton(Assignment beta);
 
  private:
@@ -51,6 +54,7 @@ class TaskAutomata {
   std::vector<int> phi_nodes_;
   std::vector<HltlProp> props_;
   std::vector<LtlPtr> remapped_;  // parallel to phi_nodes_
+  std::mutex cache_mutex_;
   std::map<Assignment, std::unique_ptr<BuchiAutomaton>> cache_;
 };
 

@@ -1,10 +1,42 @@
 #include "vass/karp_miller.h"
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <deque>
+#include <memory>
+#include <thread>
 
 #include "common/status.h"
+#include "common/sync.h"
+#include "core/shard_map.h"
 
 namespace has {
+
+namespace {
+
+/// A successor produced during the expansion phase of one sharded
+/// round, routed to the shard owning its (state, marking) key. The
+/// rank (parent, ordinal) totally orders the round's candidates in
+/// exactly the order the sequential explorer would have visited them.
+struct Candidate {
+  int parent = -1;
+  int ordinal = -1;  ///< edge position within the parent's successors
+  int target_state = -1;
+  std::vector<int64_t> marking;  ///< accelerated, canonical
+  int64_t label = -1;
+  Delta delta;
+  /// Dedup result: a final node id (>= 0) or a pending-node reference
+  /// encoded as -(pending_index + 2) within the owning shard.
+  int resolved = 1;
+};
+
+bool CandidateRankLess(const Candidate& a, const Candidate& b) {
+  if (a.parent != b.parent) return a.parent < b.parent;
+  return a.ordinal < b.ordinal;
+}
+
+}  // namespace
 
 KarpMiller::KarpMiller(VassSystem* system, KarpMillerOptions options)
     : system_(system), options_(options) {}
@@ -29,14 +61,107 @@ int KarpMiller::InternNode(int state, std::vector<int64_t> marking,
   return id;
 }
 
+bool KarpMiller::SuccessorMarking(int parent_node, int target,
+                                  const Delta& delta,
+                                  std::vector<int64_t>* out) const {
+  std::vector<int64_t> next;
+  if (!marking::Apply(nodes_[parent_node].marking, delta, &next)) {
+    return false;
+  }
+  // ω-acceleration along the spanning-tree ancestry: if an ancestor
+  // with the same VASS state is strictly covered by `next`, the
+  // strictly increased coordinates can be pumped arbitrarily. The
+  // ancestry consists of finalized nodes only (a node's ancestors are
+  // strictly older), so concurrent workers may run this freely.
+  bool accelerated = true;
+  while (accelerated) {
+    accelerated = false;
+    for (int a = parent_node; a != -1; a = nodes_[a].parent) {
+      if (nodes_[a].state != target) continue;
+      const std::vector<int64_t>& am = nodes_[a].marking;
+      if (!marking::LessEq(am, next) || marking::Equal(am, next)) {
+        continue;
+      }
+      size_t dims = std::max(am.size(), next.size());
+      for (size_t d = 0; d < dims; ++d) {
+        int64_t av = marking::Get(am, static_cast<int>(d));
+        int64_t nv = marking::Get(next, static_cast<int>(d));
+        if (av < nv && nv != kOmega) {
+          marking::Set(&next, static_cast<int>(d), kOmega);
+          accelerated = true;
+        }
+      }
+    }
+  }
+  while (!next.empty() && next.back() == 0) next.pop_back();
+  *out = std::move(next);
+  return true;
+}
+
+KarpMiller::CacheEntry* KarpMiller::PinCached(int state, size_t round) {
+  auto it = succ_cache_.find(state);
+  if (it == succ_cache_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  if (round != pin_round_) {
+    pin_round_ = round;
+    pinned_count_ = 0;
+  }
+  if (it->second.pinned_round != round) {
+    it->second.pinned_round = round;
+    ++pinned_count_;
+  }
+  return &it->second;
+}
+
+const std::vector<VassEdge>& KarpMiller::CacheSuccessors(
+    int state, size_t round,
+    const std::function<void(std::vector<VassEdge>*)>& commit) {
+  if (CacheEntry* hit = PinCached(state, round)) {
+    ++cache_hits_;
+    return hit->edges;
+  }
+  ++cache_misses_;
+  CacheEntry entry;
+  commit(&entry.edges);
+  lru_.push_front(state);
+  entry.lru_pos = lru_.begin();
+  entry.pinned_round = round;
+  if (round != pin_round_) {
+    pin_round_ = round;
+    pinned_count_ = 0;
+  }
+  ++pinned_count_;
+  auto it = succ_cache_.emplace(state, std::move(entry)).first;
+  // Evict least-recently-used entries beyond the cap. Pinned entries
+  // (their edge lists may still be read this round) cluster at the LRU
+  // front, so tail pops are O(1); the pinned count bounds the scan when
+  // a round holds more states than the cap.
+  while (succ_cache_.size() > options_.succ_cache_capacity &&
+         succ_cache_.size() > pinned_count_) {
+    auto victim = succ_cache_.find(lru_.back());
+    if (victim->second.pinned_round == round) break;  // only pins remain
+    lru_.pop_back();
+    succ_cache_.erase(victim);
+  }
+  return it->second.edges;
+}
+
 void KarpMiller::Build(const std::vector<int>& initial_states) {
+  if (options_.num_shards > 1 && system_->SupportsConcurrentPrepare()) {
+    BuildSharded(initial_states);
+  } else {
+    BuildSequential(initial_states);
+  }
+}
+
+void KarpMiller::BuildSequential(const std::vector<int>& initial_states) {
   std::deque<int> worklist;
   for (int s : initial_states) {
     bool created = false;
     int id = InternNode(s, {}, -1, -1, &created);
     if (created) worklist.push_back(id);
   }
-  std::vector<VassEdge> edges;
+  size_t step = 0;
   while (!worklist.empty()) {
     if (nodes_.size() > options_.max_nodes) {
       truncated_ = true;
@@ -45,47 +170,346 @@ void KarpMiller::Build(const std::vector<int>& initial_states) {
     int n = worklist.front();
     worklist.pop_front();
     const int state = nodes_[n].state;
-    auto cache_it = succ_cache_.find(state);
-    if (cache_it == succ_cache_.end()) {
-      edges.clear();
-      system_->Successors(state, &edges);
-      cache_it = succ_cache_.emplace(state, edges).first;
-    }
-    // Copy: interning may invalidate references into nodes_.
-    const std::vector<VassEdge> out = cache_it->second;
+    // Copy: interning may invalidate references into nodes_, and a
+    // later insertion may evict this cache entry.
+    const std::vector<VassEdge> out = CacheSuccessors(
+        state, ++step,
+        [&](std::vector<VassEdge>* edges) { system_->Successors(state, edges); });
     for (const VassEdge& e : out) {
       std::vector<int64_t> next;
-      if (!marking::Apply(nodes_[n].marking, e.delta, &next)) continue;
-      // ω-acceleration along the spanning-tree ancestry: if an ancestor
-      // with the same VASS state is strictly covered by `next`, the
-      // strictly increased coordinates can be pumped arbitrarily.
-      bool accelerated = true;
-      while (accelerated) {
-        accelerated = false;
-        for (int a = n; a != -1; a = nodes_[a].parent) {
-          if (nodes_[a].state != e.target) continue;
-          const std::vector<int64_t>& am = nodes_[a].marking;
-          if (!marking::LessEq(am, next) || marking::Equal(am, next)) {
-            continue;
-          }
-          size_t dims = std::max(am.size(), next.size());
-          for (size_t d = 0; d < dims; ++d) {
-            int64_t av = marking::Get(am, static_cast<int>(d));
-            int64_t nv = marking::Get(next, static_cast<int>(d));
-            if (av < nv && nv != kOmega) {
-              marking::Set(&next, static_cast<int>(d), kOmega);
-              accelerated = true;
-            }
-          }
-        }
-      }
-      while (!next.empty() && next.back() == 0) next.pop_back();
+      if (!SuccessorMarking(n, e.target, e.delta, &next)) continue;
       bool created = false;
       int child = InternNode(e.target, std::move(next), n, e.label, &created);
       nodes_[n].edges.push_back(Edge{child, e.label, e.delta});
       if (created) worklist.push_back(child);
     }
   }
+}
+
+// Sharded exploration proceeds in BFS rounds over the global frontier;
+// each round runs four phases separated by team barriers:
+//   P  PrepareSuccessors for the round's distinct uncached states —
+//      concurrent, work shared through an atomic cursor;
+//   C  CommitSuccessors serially in frontier (node id) order — the
+//      exact first-encounter order of the sequential explorer, so the
+//      system's internal numbering is schedule-independent;
+//   E  expansion: workers expand frontier nodes (own shard first, then
+//      stealing), apply + ω-accelerate markings against the finalized
+//      ancestry, and route each candidate to the shard owning its
+//      (state, marking) key through a bounded queue — a worker whose
+//      push finds a full queue drains its own inbound queue, which
+//      bounds memory without deadlock; each shard then sorts its
+//      received candidates by (parent, ordinal) and dedups them
+//      against its locally-owned slice of the node index;
+//   M  merge: the coordinator materializes the round's new nodes and
+//      edges in global (parent, ordinal) order — the sequential
+//      creation order — so node numbering, markings, edges and labels
+//      are identical to the single-shard graph, node for node.
+void KarpMiller::BuildSharded(const std::vector<int>& initial_states) {
+  const int num_shards = options_.num_shards;
+  ShardMap shard_map(num_shards);
+
+  // Candidates cross shards in batches: per-candidate queue traffic
+  // (one mutex round-trip each) dominated the exchange on wide rounds.
+  using CandidateBatch = std::vector<Candidate>;
+  constexpr size_t kBatch = 128;
+  struct Shard {
+    std::unordered_map<NodeKey, int, IdVectorHash> index;
+    std::vector<int> frontier;           // owned node ids, ascending
+    std::vector<Candidate> received;     // this round's candidates
+    std::vector<NodeKey> pending_keys;   // this round's new keys
+    std::vector<int> pending_final;      // pending index -> node id
+    std::unique_ptr<BoundedQueue<CandidateBatch>> queue;
+  };
+  std::vector<Shard> shards(static_cast<size_t>(num_shards));
+  for (Shard& s : shards) {
+    s.queue = std::make_unique<BoundedQueue<CandidateBatch>>(256);
+  }
+  // Producer-side outboxes, one row per producer (workers + the
+  // coordinator at row num_shards), one slot per destination shard.
+  std::vector<std::vector<CandidateBatch>> outboxes(
+      static_cast<size_t>(num_shards) + 1,
+      std::vector<CandidateBatch>(static_cast<size_t>(num_shards)));
+
+  // Seed roots exactly like the sequential explorer; equal keys always
+  // land in one shard, so per-shard dedup is global dedup.
+  for (int st : initial_states) {
+    NodeKey key{st, {}};
+    Shard& owner = shards[shard_map.ShardOf(st, key.second)];
+    if (owner.index.find(key) != owner.index.end()) continue;
+    int id = static_cast<int>(nodes_.size());
+    Node node;
+    node.state = st;
+    nodes_.push_back(std::move(node));
+    owner.frontier.push_back(id);
+    owner.index.emplace(std::move(key), id);
+  }
+
+  // Round context shared with the worker team (rebuilt per round by
+  // the coordinator between barriers).
+  std::vector<int> prep_states;
+  std::unordered_map<int, size_t> prep_index;
+  std::vector<std::unique_ptr<VassSystem::Prepared>> prep_tokens;
+  std::atomic<size_t> prep_cursor{0};
+  std::vector<std::atomic<size_t>> frontier_cursors(
+      static_cast<size_t>(num_shards));
+  std::atomic<int> producers_done{0};
+  bool done = false;
+  Barrier barrier(num_shards + 1);
+
+  // Worker ids: 0..num_shards-1 are team workers (own the same-numbered
+  // shard's inbound queue), kCoordinator produces without an own queue,
+  // kInline marks single-threaded rounds where direct pushes are safe.
+  constexpr int kCoordinator = -1;
+  constexpr int kInline = -2;
+  auto drain_own = [&](int w) {
+    bool progress = false;
+    CandidateBatch batch;
+    while (shards[w].queue->TryPop(&batch)) {
+      progress = true;
+      for (Candidate& c : batch) {
+        shards[w].received.push_back(std::move(c));
+      }
+    }
+    return progress;
+  };
+  auto flush_outbox = [&](int w, int dest) {
+    CandidateBatch& box = outboxes[w >= 0 ? w : num_shards][dest];
+    if (box.empty()) return;
+    while (!shards[dest].queue->TryPush(std::move(box))) {
+      // Back off when there is nothing useful to do: a hot retry loop
+      // on an oversubscribed host steals cycles from the very thread
+      // that must drain the full destination queue.
+      if (w < 0 || !drain_own(w)) {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+    }
+    box = CandidateBatch();
+    box.reserve(kBatch);
+  };
+  auto emit = [&](int w, Candidate c) {
+    int dest = shard_map.ShardOf(c.target_state, c.marking);
+    if (dest == w || w == kInline) {
+      shards[dest].received.push_back(std::move(c));
+      return;
+    }
+    CandidateBatch& box = outboxes[w >= 0 ? w : num_shards][dest];
+    box.push_back(std::move(c));
+    if (box.size() >= kBatch) flush_outbox(w, dest);
+  };
+  auto expand_node = [&](int w, int n) {
+    const int state = nodes_[n].state;
+    // Present and pinned by the commit phase; the map is read-only
+    // during expansion.
+    const std::vector<VassEdge>& edges =
+        succ_cache_.find(state)->second.edges;
+    for (size_t i = 0; i < edges.size(); ++i) {
+      const VassEdge& e = edges[i];
+      Candidate c;
+      if (!SuccessorMarking(n, e.target, e.delta, &c.marking)) continue;
+      c.parent = n;
+      c.ordinal = static_cast<int>(i);
+      c.target_state = e.target;
+      c.label = e.label;
+      c.delta = e.delta;
+      emit(w, std::move(c));
+    }
+  };
+  auto phase_prepare = [&]() {
+    size_t i;
+    while ((i = prep_cursor.fetch_add(1)) < prep_states.size()) {
+      prep_tokens[i] = system_->PrepareSuccessors(prep_states[i]);
+    }
+  };
+  // Deterministic rank-order dedup of one shard's received candidates
+  // against its locally-owned slice of the node index.
+  auto dedup_shard = [&](Shard& shard) {
+    std::sort(shard.received.begin(), shard.received.end(),
+              CandidateRankLess);
+    for (Candidate& c : shard.received) {
+      NodeKey key{c.target_state, c.marking};
+      auto it = shard.index.find(key);
+      if (it != shard.index.end()) {
+        c.resolved = it->second;
+        continue;
+      }
+      int p = static_cast<int>(shard.pending_keys.size());
+      shard.pending_keys.push_back(key);
+      shard.index.emplace(std::move(key), -(p + 2));
+      c.resolved = -(p + 2);
+    }
+  };
+  auto phase_expand = [&](int w) {
+    // Own frontier first, then steal expansion work from other shards
+    // (expansion is pure; routing keeps ownership intact).
+    for (int offset = 0; offset < num_shards; ++offset) {
+      int t = ((w < 0 ? 0 : w) + offset) % num_shards;
+      size_t i;
+      while ((i = frontier_cursors[t].fetch_add(1)) <
+             shards[t].frontier.size()) {
+        expand_node(w, shards[t].frontier[i]);
+      }
+    }
+    for (int dest = 0; dest < num_shards; ++dest) flush_outbox(w, dest);
+    producers_done.fetch_add(1);
+    if (w < 0) return;
+    // Drain until every producer (workers + coordinator) finished and
+    // the own queue is empty, then dedup in deterministic rank order.
+    while (producers_done.load() < num_shards + 1) {
+      if (!drain_own(w)) {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+    }
+    drain_own(w);
+    dedup_shard(shards[w]);
+  };
+  auto worker_main = [&](int w) {
+    for (;;) {
+      barrier.ArriveAndWait();  // A: round published
+      if (done) return;
+      phase_prepare();
+      barrier.ArriveAndWait();  // B: prepares done
+      barrier.ArriveAndWait();  // C: commits done
+      phase_expand(w);
+      barrier.ArriveAndWait();  // D: candidates dedup'd
+    }
+  };
+
+  // The worker team is spawned lazily: narrow rounds (most child-query
+  // graphs never leave this regime) run inline with zero barrier
+  // traffic, and the team only exists once a round is wide enough to
+  // pay for coordination. Inline rounds execute the identical
+  // algorithm single-threaded, so the produced graph is unchanged.
+  std::vector<std::thread> team;
+  auto spawn_team = [&]() {
+    if (!team.empty()) return;
+    team.reserve(static_cast<size_t>(num_shards));
+    for (int w = 0; w < num_shards; ++w) team.emplace_back(worker_main, w);
+  };
+
+  std::vector<int> frontier_all;
+  size_t round = 0;
+  for (;;) {
+    frontier_all.clear();
+    for (const Shard& s : shards) {
+      frontier_all.insert(frontier_all.end(), s.frontier.begin(),
+                          s.frontier.end());
+    }
+    std::sort(frontier_all.begin(), frontier_all.end());
+    if (frontier_all.empty() || nodes_.size() > options_.max_nodes) {
+      truncated_ = truncated_ || !frontier_all.empty();
+      if (!team.empty()) {
+        done = true;
+        barrier.ArriveAndWait();  // release workers into exit
+      }
+      break;
+    }
+    ++round;
+    // Distinct uncached frontier states in first-node order; existing
+    // entries are pinned so commits cannot evict edge lists this round
+    // still needs.
+    prep_states.clear();
+    prep_index.clear();
+    for (int n : frontier_all) {
+      int state = nodes_[n].state;
+      if (PinCached(state, round) != nullptr) continue;
+      if (prep_index.find(state) != prep_index.end()) continue;
+      prep_index.emplace(state, prep_states.size());
+      prep_states.push_back(state);
+    }
+    // Narrow rounds run inline: a round pays 4 barrier cycles across
+    // num_shards+1 threads, so it must bring at least a worker's worth
+    // of preparable states (the expensive phase) or a frontier wide
+    // enough for expansion parallelism to matter.
+    const bool parallel_round =
+        prep_states.size() >= static_cast<size_t>(std::max(2, num_shards)) ||
+        frontier_all.size() >= 256;
+    if (parallel_round) {
+      spawn_team();
+      prep_tokens.clear();
+      prep_tokens.resize(prep_states.size());
+      prep_cursor.store(0);
+      for (auto& c : frontier_cursors) c.store(0);
+      producers_done.store(0);
+
+      barrier.ArriveAndWait();  // A
+      phase_prepare();          // coordinator helps preparing
+      barrier.ArriveAndWait();  // B
+
+      for (int n : frontier_all) {
+        const int state = nodes_[n].state;
+        CacheSuccessors(state, round, [&](std::vector<VassEdge>* edges) {
+          system_->CommitSuccessors(
+              state, std::move(prep_tokens[prep_index.at(state)]), edges);
+        });
+      }
+      barrier.ArriveAndWait();          // C
+      phase_expand(kCoordinator);       // coordinator helps expanding
+      barrier.ArriveAndWait();          // D
+    } else {
+      for (int n : frontier_all) {
+        const int state = nodes_[n].state;
+        CacheSuccessors(state, round, [&](std::vector<VassEdge>* edges) {
+          system_->Successors(state, edges);
+        });
+      }
+      for (const Shard& s : shards) {
+        for (int n : s.frontier) expand_node(kInline, n);
+      }
+      for (Shard& s : shards) dedup_shard(s);
+    }
+
+    // Merge: walk all shards' (sorted) candidates in global rank order.
+    for (Shard& s : shards) {
+      s.pending_final.assign(s.pending_keys.size(), -1);
+    }
+    std::vector<size_t> pos(static_cast<size_t>(num_shards), 0);
+    std::vector<std::vector<int>> next_frontier(
+        static_cast<size_t>(num_shards));
+    for (;;) {
+      int best = -1;
+      for (int s = 0; s < num_shards; ++s) {
+        if (pos[s] >= shards[s].received.size()) continue;
+        if (best == -1 ||
+            CandidateRankLess(shards[s].received[pos[s]],
+                              shards[best].received[pos[best]])) {
+          best = s;
+        }
+      }
+      if (best == -1) break;
+      Candidate& c = shards[best].received[pos[best]++];
+      int target;
+      if (c.resolved >= 0) {
+        target = c.resolved;
+      } else {
+        int p = -c.resolved - 2;
+        int& final_id = shards[best].pending_final[p];
+        if (final_id == -1) {
+          final_id = static_cast<int>(nodes_.size());
+          Node node;
+          node.state = c.target_state;
+          node.marking = std::move(c.marking);
+          node.parent = c.parent;
+          node.parent_label = c.label;
+          nodes_.push_back(std::move(node));
+          next_frontier[best].push_back(final_id);
+        }
+        target = final_id;
+      }
+      nodes_[c.parent].edges.push_back(Edge{target, c.label,
+                                            std::move(c.delta)});
+    }
+    for (int s = 0; s < num_shards; ++s) {
+      Shard& shard = shards[s];
+      for (size_t p = 0; p < shard.pending_keys.size(); ++p) {
+        shard.index[shard.pending_keys[p]] = shard.pending_final[p];
+      }
+      shard.pending_keys.clear();
+      shard.received.clear();
+      shard.frontier = std::move(next_frontier[s]);
+    }
+  }
+  for (std::thread& t : team) t.join();
 }
 
 int KarpMiller::FindNode(const std::function<bool(int)>& pred) const {

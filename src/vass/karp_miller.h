@@ -10,10 +10,23 @@
 // The pumping property of Karp–Miller trees makes both directions
 // sound: node markings are exact on non-ω coordinates and arbitrarily
 // pumpable on ω ones.
+//
+// Exploration is either sequential (num_shards == 1, the historical
+// BFS) or sharded across worker threads (num_shards > 1, requires the
+// system to support concurrent preparation — see VassSystem). The
+// sharded build is DETERMINISTIC: it proceeds in BFS rounds, prepares
+// successor computations concurrently, commits them in frontier order,
+// partitions node ownership by hashed (state, marking) key, exchanges
+// cross-shard successors through bounded queues, and materializes each
+// round's new nodes in the exact global order the sequential explorer
+// would have used — so the produced graph (node numbering, markings,
+// edges, labels) is identical to the single-shard graph node for node,
+// independent of the thread schedule.
 #ifndef HAS_VASS_KARP_MILLER_H_
 #define HAS_VASS_KARP_MILLER_H_
 
 #include <functional>
+#include <list>
 #include <optional>
 #include <unordered_map>
 #include <utility>
@@ -26,7 +39,24 @@ namespace has {
 
 struct KarpMillerOptions {
   /// Hard cap on coverability-graph nodes; exceeded => truncated().
+  /// (The sharded build checks the cap at round boundaries, so a
+  /// truncated sharded graph may cut at a slightly different point
+  /// than a truncated sequential one; non-truncated graphs are always
+  /// identical.)
   size_t max_nodes = 1 << 18;
+  /// Worker shards for Build. 1 = the sequential explorer; > 1 shards
+  /// the frontier across that many worker threads (falls back to
+  /// sequential when the system does not support concurrent prepare).
+  int num_shards = 1;
+  /// Bound on the successor cache (distinct VASS states kept); least-
+  /// recently-used entries beyond the cap are evicted. States needed by
+  /// the current sharded round are pinned and never evicted mid-round.
+  /// Eviction never changes the produced graph — systems must make
+  /// successor recomputation idempotent (TaskVass interns its
+  /// transition records, so re-commits reproduce the original labels) —
+  /// but hit/miss counts may differ across shard counts once the cap
+  /// binds.
+  size_t succ_cache_capacity = 1 << 14;
 };
 
 class KarpMiller {
@@ -55,6 +85,9 @@ class KarpMiller {
   /// Graph edges out of node n.
   const std::vector<Edge>& edges(int n) const { return nodes_[n].edges; }
 
+  /// Spanning-tree parent of node n (-1 for roots).
+  int node_parent(int n) const { return nodes_[n].parent; }
+
   /// First node (in creation order) whose VASS state satisfies `pred`;
   /// -1 if none.
   int FindNode(const std::function<bool(int)>& pred) const;
@@ -64,6 +97,9 @@ class KarpMiller {
 
   /// Statistics for the benchmark harness.
   size_t TotalEdges() const;
+  /// Successor-cache accounting: one hit or miss per processed node.
+  size_t succ_cache_hits() const { return cache_hits_; }
+  size_t succ_cache_misses() const { return cache_misses_; }
 
  private:
   struct Node {
@@ -79,14 +115,52 @@ class KarpMiller {
   /// flat integer mix with no serialization.
   using NodeKey = std::pair<int, std::vector<int64_t>>;
 
+  /// Bounded LRU successor cache. Entries pinned to the current round
+  /// (sharded build) survive eviction until the round completes.
+  struct CacheEntry {
+    std::vector<VassEdge> edges;
+    std::list<int>::iterator lru_pos;
+    size_t pinned_round = 0;
+  };
+
   int InternNode(int state, std::vector<int64_t> marking, int parent,
                  int64_t parent_label, bool* created);
+
+  void BuildSequential(const std::vector<int>& initial_states);
+  void BuildSharded(const std::vector<int>& initial_states);
+
+  /// Accelerated successor marking of `parent_node` under `delta` into
+  /// state `target`: marking apply, ω-acceleration against the
+  /// spanning-tree ancestry, canonical trailing-zero strip. Reads only
+  /// finalized nodes, so it is safe from concurrent workers. False if
+  /// the delta is not enabled.
+  bool SuccessorMarking(int parent_node, int target, const Delta& delta,
+                        std::vector<int64_t>* out) const;
+
+  /// Looks up / inserts `state` in the successor cache. `commit` is
+  /// invoked on a miss to produce the edges; entries touched this
+  /// round are pinned against eviction.
+  const std::vector<VassEdge>& CacheSuccessors(
+      int state, size_t round,
+      const std::function<void(std::vector<VassEdge>*)>& commit);
+
+  /// Pins `state`'s cache entry (if present) to `round`, moving it to
+  /// the LRU front; returns the entry or nullptr. Keeping the pinned
+  /// set clustered at the front makes eviction tail-pops O(1).
+  CacheEntry* PinCached(int state, size_t round);
 
   VassSystem* system_;
   KarpMillerOptions options_;
   std::vector<Node> nodes_;
   std::unordered_map<NodeKey, int, IdVectorHash> index_;
-  std::unordered_map<int, std::vector<VassEdge>> succ_cache_;
+  std::unordered_map<int, CacheEntry> succ_cache_;
+  std::list<int> lru_;  // front = most recently used state
+  /// Entries pinned to pin_round_ (they cluster at the LRU front and
+  /// are never evicted; the count caps the eviction scan).
+  size_t pin_round_ = 0;
+  size_t pinned_count_ = 0;
+  size_t cache_hits_ = 0;
+  size_t cache_misses_ = 0;
   bool truncated_ = false;
 };
 

@@ -178,6 +178,18 @@ std::optional<LassoWitness> FindAcceptingLasso(
   for (int n = 0; n < graph.num_nodes(); ++n) members[scc[n]].push_back(n);
 
   for (int target = 0; target < num_sccs; ++target) {
+    // Cheapest filter first: an SCC without an accepting node can be
+    // skipped before any cycle test touches its edge lists (on sharded
+    // task-VASS graphs most SCCs are accepting-free singletons).
+    bool has_accepting = false;
+    for (int n : members[target]) {
+      if (accepting(graph.node_state(n))) {
+        has_accepting = true;
+        break;
+      }
+    }
+    if (!has_accepting) continue;
+
     bool has_cycle = members[target].size() > 1;
     if (!has_cycle) {
       int only = members[target][0];
