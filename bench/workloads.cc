@@ -1,5 +1,7 @@
 #include "workloads.h"
 
+#include <algorithm>
+
 #include "common/strings.h"
 
 namespace has {
@@ -51,12 +53,15 @@ namespace {
 /// Shared chain builder for the post-Tables families: a depth-`depth`
 /// task chain over `schema` where every task runs one relation-bound
 /// work service PER entry of `service_rels` (the per-level branching
-/// factor), an artifact relation when `with_sets`, and the same
-/// child-input/output plumbing and hierarchical property as the
-/// Tables 1–2 families.
+/// factor), an artifact relation over `set_width` ID variables when
+/// `with_sets`, and the same child-input/output plumbing and
+/// hierarchical property as the Tables 1–2 families. Work service si
+/// anchors set variable min(si, set_width-1) in its relation atom, so
+/// every component of the artifact tuple is relation-bound by some
+/// service.
 Workload ChainWorkload(DatabaseSchema schema, std::string name, int depth,
                        const std::vector<RelationId>& service_rels,
-                       bool with_sets) {
+                       bool with_sets, int set_width = 1) {
   Workload w;
   w.system.schema() = std::move(schema);
   w.name = std::move(name);
@@ -67,6 +72,11 @@ Workload ChainWorkload(DatabaseSchema schema, std::string name, int depth,
     Task& task = w.system.task(t);
     int x = task.vars().AddVar("x", VarSort::kId);
     int amount = task.vars().AddVar("amount", VarSort::kNumeric);
+    // The artifact tuple s̄_T: x plus set_width-1 further ID variables.
+    std::vector<int> set_tuple{x};
+    for (int k = 1; k < set_width; ++k) {
+      set_tuple.push_back(task.vars().AddVar(StrCat("s", k), VarSort::kId));
+    }
     if (level > 0) {
       task.AddInput(x, /*parent x=*/0);
       task.AddOutput(/*parent amount=*/1, amount);
@@ -81,7 +91,8 @@ Workload ChainWorkload(DatabaseSchema schema, std::string name, int depth,
       InternalService svc;
       svc.name = StrCat("work", si);
       svc.pre = Condition::True();
-      std::vector<int> args{x};
+      std::vector<int> args{
+          set_tuple[std::min(si, set_tuple.size() - 1)]};
       const Relation& r = w.system.schema().relation(rel);
       for (int a = 1; a < r.arity(); ++a) {
         if (r.attr(a).kind == AttrKind::kNumeric) {
@@ -100,17 +111,26 @@ Workload ChainWorkload(DatabaseSchema schema, std::string name, int depth,
       task.AddInternalService(std::move(svc));
     }
     if (with_sets) {
-      task.DeclareSet({x});
+      auto all_non_null = [&set_tuple]() {
+        CondPtr cond = Condition::Not(Condition::IsNull(set_tuple[0]));
+        for (size_t k = 1; k < set_tuple.size(); ++k) {
+          cond = Condition::And(
+              std::move(cond),
+              Condition::Not(Condition::IsNull(set_tuple[k])));
+        }
+        return cond;
+      };
+      task.DeclareSet(set_tuple);
       InternalService store;
       store.name = "store";
-      store.pre = Condition::Not(Condition::IsNull(x));
+      store.pre = all_non_null();
       store.post = Condition::True();
       store.inserts = true;
       task.AddInternalService(std::move(store));
       InternalService load;
       load.name = "load";
       load.pre = Condition::True();
-      load.post = Condition::Not(Condition::IsNull(x));
+      load.post = all_non_null();
       load.retrieves = true;
       task.AddInternalService(std::move(load));
     }
@@ -155,6 +175,20 @@ Workload MakeAdversarialCyclic(int size, int depth) {
                        StrCat("adversarial-cyclic/n", size, "/h", depth),
                        depth, rels,
                        /*with_sets=*/true);
+}
+
+Workload MakeMultiSet(int size, int depth, int set_width) {
+  if (set_width < 2) set_width = 2;
+  // One relation per set variable so each tuple component navigates a
+  // different part of the schema.
+  if (size < set_width) size = set_width;
+  std::vector<RelationId> rels;
+  for (int k = 0; k < set_width; ++k) rels.push_back(k);
+  return ChainWorkload(AcyclicSchema(size),
+                       StrCat("multiset/w", set_width, "/n", size, "/h",
+                              depth),
+                       depth, rels,
+                       /*with_sets=*/true, set_width);
 }
 
 Workload MakeWorkload(SchemaClass schema_class, int size, int depth,

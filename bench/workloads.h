@@ -48,6 +48,17 @@ Workload MakeDeepHierarchy(int depth, int size);
 /// frontier-partitioning layers.
 Workload MakeAdversarialCyclic(int size, int depth);
 
+/// Multi-variable-set family (ROADMAP "wider artifact relations"):
+/// every task's artifact relation S_T ranges over a TUPLE of
+/// `set_width` distinct ID variables (the model's s̄_T), each bound to
+/// a different relation by its own work service. Wider tuples mean
+/// wider TS-isomorphism types — more counter dimensions per product —
+/// and more set-insert/retrieve interleavings, which is what stresses
+/// the coverability layer's antichain pruning and counter machinery.
+/// (One artifact relation per task is a model invariant; width is the
+/// axis this family scales.)
+Workload MakeMultiSet(int size, int depth, int set_width);
+
 }  // namespace bench
 }  // namespace has
 

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Counter-based perf-regression gate.
+
+Compares the DETERMINISTIC exploration counters of a Google-Benchmark
+JSON run against a committed baseline and fails on unexplained growth.
+The gated counters (coverability nodes/edges, product states, interned
+types, full-graph fallback builds) are pure work counts: they are
+schedule- and host-independent, so exceeding the baseline means the
+change genuinely made the verifier explore more — unlike wall-clock,
+which stays informational (the committed baselines come from a 1-vCPU
+container; see ROADMAP.md).
+
+Usage:
+  check_bench_counters.py BASELINE.json RUN.json [--tolerance PCT]
+
+Exit code 1 iff a gated counter grew beyond the tolerance (default 0%)
+or a baselined benchmark is missing from the run. Benchmarks present in
+the run but not in the baseline are reported as needing a baseline
+update, not failed.
+"""
+
+import argparse
+import json
+import sys
+
+# Counters that measure work: growth is a regression.
+GATED = [
+    "cov_nodes",
+    "cov_edges",
+    "product_states",
+    "pooled_types",
+    "full_graph_builds",
+]
+# Deterministic but directionless: a drift is worth a look, not a fail
+# (e.g. pruning MORE successors is usually good news).
+INFORMATIONAL = [
+    "pruned_successors",
+    "deactivated_nodes",
+    "antichain_peak",
+]
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    return {
+        b["name"]: b
+        for b in data.get("benchmarks", [])
+        if b.get("run_type", "iteration") == "iteration"
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("run")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.0,
+        help="allowed growth in percent (counters are deterministic, "
+        "so the default is exact)",
+    )
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    run = load(args.run)
+    if not baseline:
+        # A format drift (e.g. aggregates-only output) must not turn
+        # the gate into a silent no-op.
+        print(f"FAIL: no iteration benchmarks in {args.baseline}",
+              file=sys.stderr)
+        return 1
+    failures = []
+    notes = []
+
+    for name, base in sorted(baseline.items()):
+        cur = run.get(name)
+        if cur is None:
+            failures.append(f"{name}: present in baseline but not in run")
+            continue
+        for counter in GATED:
+            if counter not in base:
+                continue
+            if counter not in cur:
+                failures.append(f"{name}: counter {counter} disappeared")
+                continue
+            b, c = float(base[counter]), float(cur[counter])
+            limit = b * (1.0 + args.tolerance / 100.0)
+            if c > limit:
+                failures.append(
+                    f"{name}: {counter} grew {b:.0f} -> {c:.0f} "
+                    f"(+{(c - b) / b * 100.0 if b else float('inf'):.1f}%)"
+                )
+            elif c < b:
+                notes.append(
+                    f"{name}: {counter} improved {b:.0f} -> {c:.0f} "
+                    "(update the baseline to lock it in)"
+                )
+        for counter in INFORMATIONAL:
+            if counter in base and counter in cur:
+                b, c = float(base[counter]), float(cur[counter])
+                if b != c:
+                    notes.append(
+                        f"{name}: {counter} drifted {b:.0f} -> {c:.0f} "
+                        "(informational)"
+                    )
+        # Wall clock: never gated, just surfaced.
+        if "real_time" in base and "real_time" in cur:
+            b, c = float(base["real_time"]), float(cur["real_time"])
+            if b > 0:
+                notes.append(
+                    f"{name}: wall-clock {(c - b) / b:+.1%} vs baseline "
+                    "(informational; hosts differ)"
+                )
+
+    for name in sorted(set(run) - set(baseline)):
+        notes.append(f"{name}: no baseline yet (add it to the JSON)")
+
+    for n in notes:
+        print(f"note: {n}")
+    if failures:
+        print(f"\n{len(failures)} counter regression(s):", file=sys.stderr)
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print(f"\nOK: {len(baseline)} benchmarks within counter baselines")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

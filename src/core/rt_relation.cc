@@ -90,9 +90,12 @@ void RtEngine::ComputeEntry(const RtQueryKey& key,
   KarpMillerOptions km_options;
   km_options.max_nodes = options_.max_cov_nodes;
   km_options.succ_cache_capacity = options_.succ_cache_capacity;
+  km_options.prune_coverability = options_.prune_coverability;
   // Take the shard token if free: the outermost in-flight exploration
   // gets the worker team; nested child builds (reached from its
   // workers) run sequential instead of multiplying threads per level.
+  // The token is held across BOTH builds of a pruned query (pruned
+  // reachability graph + possible full lasso graph).
   int expected = 0;
   const bool shard_this =
       options_.num_shards > 1 &&
@@ -100,26 +103,12 @@ void RtEngine::ComputeEntry(const RtQueryKey& key,
   km_options.num_shards = shard_this ? options_.num_shards : 1;
   entry->graph = std::make_unique<KarpMiller>(entry->vass.get(), km_options);
   entry->graph->Build(entry->vass->InitialStates());
-  if (shard_this) sharded_builds_.store(0);
-
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.queries;
-    stats_.cov_nodes += entry->graph->num_nodes();
-    stats_.cov_edges += entry->graph->TotalEdges();
-    stats_.product_states += entry->vass->num_states();
-    stats_.counter_dims =
-        std::max(stats_.counter_dims,
-                 static_cast<size_t>(entry->vass->num_dimensions()));
-    stats_.pooled_types = pool_.num_types();
-    stats_.pooled_cells = pool_.num_cells();
-    stats_.succ_cache_hits += entry->graph->succ_cache_hits();
-    stats_.succ_cache_misses += entry->graph->succ_cache_misses();
-    stats_.truncated = stats_.truncated || entry->graph->truncated() ||
-                       entry->vass->truncated();
-  }
 
   // Returning outputs: deduplicate by interned (type, cell) outcome id.
+  // Sound on the pruned graph: antichain pruning preserves exactly the
+  // reachable VASS states (every dropped marking is covered by an
+  // expanded node of the same state), and returning/blocking/accepting
+  // are per-state predicates.
   std::unordered_set<std::pair<TypeId, CellId>, PairHash<TypeId, CellId>>
       seen_outputs;
   for (int n = 0; n < entry->graph->num_nodes(); ++n) {
@@ -141,17 +130,79 @@ void RtEngine::ComputeEntry(const RtQueryKey& key,
       break;
     }
   }
-  // Lasso runs (only needed if no blocking witness was found, but the
-  // lasso witness is nicer for counterexamples, so compute it anyway
-  // unless the graph is large).
-  if (!entry->result.has_bottom || entry->graph->num_nodes() < 20000) {
+  // Lasso runs. The closed-walk SCC analysis needs the full coverage
+  // graph: pruning drops subsumed successors without leaving edges, so
+  // a pruned graph is a spanning forest with no cycles to find. With
+  // pruning off, `graph` IS the full graph and doubles as the lasso
+  // graph (computed even when a blocking witness already settled ⊥ —
+  // the lasso witness is nicer for counterexamples — unless the graph
+  // is large). With pruning on, a full graph is built only when the
+  // ⊥-bit is still open AND some Büchi-accepting state is reachable —
+  // pruned and full graphs carry the same state set, so scanning the
+  // pruned graph for accepting states is a sound (and cheap) gate.
+  const bool pruned = options_.prune_coverability;
+  const auto accepting = [&](int state) {
+    return entry->vass->IsBuchiAccepting(state);
+  };
+  // Scoped to ComputeEntry: the witness keeps only label sequences
+  // (graph-independent transition-record ids), so the 12–22x-larger
+  // unpruned graph is reclaimed before the entry is memoized.
+  std::unique_ptr<KarpMiller> full_graph;
+  bool need_lasso;
+  if (pruned) {
+    need_lasso =
+        !entry->result.has_bottom && entry->graph->FindNode(accepting) >= 0;
+    if (need_lasso) {
+      KarpMillerOptions full_options = km_options;
+      full_options.prune_coverability = false;
+      full_graph = std::make_unique<KarpMiller>(entry->vass.get(),
+                                                full_options);
+      full_graph->Build(entry->vass->InitialStates());
+    }
+  } else {
+    need_lasso =
+        !entry->result.has_bottom || entry->graph->num_nodes() < 20000;
+  }
+  if (need_lasso) {
+    const KarpMiller& lasso_graph =
+        full_graph != nullptr ? *full_graph : *entry->graph;
     RepeatedReachabilityOptions rr;
     rr.effect_bound = options_.lasso_effect_bound;
     rr.max_steps = options_.lasso_max_steps;
-    entry->lasso = FindAcceptingLasso(
-        *entry->graph,
-        [&](int state) { return entry->vass->IsBuchiAccepting(state); }, rr);
+    entry->lasso = FindAcceptingLasso(lasso_graph, accepting, rr);
     if (entry->lasso.has_value()) entry->result.has_bottom = true;
+  }
+  if (shard_this) sharded_builds_.store(0);
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.queries;
+    stats_.cov_nodes += entry->graph->num_nodes();
+    stats_.cov_edges += entry->graph->TotalEdges();
+    stats_.product_states += entry->vass->num_states();
+    stats_.counter_dims =
+        std::max(stats_.counter_dims,
+                 static_cast<size_t>(entry->vass->num_dimensions()));
+    stats_.pooled_types = pool_.num_types();
+    stats_.pooled_cells = pool_.num_cells();
+    stats_.succ_cache_hits += entry->graph->succ_cache_hits();
+    stats_.succ_cache_misses += entry->graph->succ_cache_misses();
+    stats_.pruned_successors += entry->graph->pruned_successors();
+    stats_.deactivated_nodes += entry->graph->deactivated_nodes();
+    stats_.antichain_peak =
+        std::max(stats_.antichain_peak, entry->graph->antichain_peak());
+    stats_.truncated = stats_.truncated || entry->graph->truncated() ||
+                       entry->vass->truncated();
+    if (full_graph != nullptr) {
+      // The fallback's work is real: count its nodes/edges so pruned
+      // cov_nodes honestly reflect TOTAL exploration effort.
+      ++stats_.full_graph_builds;
+      stats_.cov_nodes += full_graph->num_nodes();
+      stats_.cov_edges += full_graph->TotalEdges();
+      stats_.succ_cache_hits += full_graph->succ_cache_hits();
+      stats_.succ_cache_misses += full_graph->succ_cache_misses();
+      stats_.truncated = stats_.truncated || full_graph->truncated();
+    }
   }
 }
 

@@ -39,6 +39,14 @@ struct RtStats {
   /// (one hit or miss per processed coverability node).
   size_t succ_cache_hits = 0;
   size_t succ_cache_misses = 0;
+  /// Antichain-pruning accounting (0 unless prune_coverability):
+  /// successor candidates dropped by domination, nodes retired before
+  /// expansion, largest per-state antichain seen, and how many queries
+  /// had to fall back to a full (unpruned) graph for lasso analysis.
+  size_t pruned_successors = 0;
+  size_t deactivated_nodes = 0;
+  size_t antichain_peak = 0;
+  size_t full_graph_builds = 0;
   bool truncated = false;
 };
 
@@ -89,10 +97,18 @@ class RtEngine : public RtOracle {
   struct Entry {
     ChildResult result;
     std::unique_ptr<TaskVass> vass;
+    /// Reachability graph: pruned when VerifierOptions::
+    /// prune_coverability is set, the one (full) graph otherwise.
+    /// returning_nodes / blocking_node index into THIS graph.
     std::unique_ptr<KarpMiller> graph;
     /// Per returning outcome: a coverability node realizing it.
     std::vector<int> returning_nodes;
-    /// Blocking witness node (-1 if none) and lasso witness.
+    /// Blocking witness node (-1 if none) and lasso witness. With
+    /// pruning on, the lasso analysis runs on a TEMPORARY unpruned
+    /// graph (discarded once the witness labels are extracted — see
+    /// ComputeEntry), so `lasso->node` is meaningful only when pruning
+    /// is off; consumers must use the witness LABEL sequences, which
+    /// are transition-record ids valid independent of any graph.
     int blocking_node = -1;
     std::optional<LassoWitness> lasso;
     TaskId task = kNoTask;

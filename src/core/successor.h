@@ -46,6 +46,19 @@ struct VerifierOptions {
   /// Bound on each exploration's successor cache (distinct product
   /// states kept; least-recently-used entries beyond are evicted).
   size_t succ_cache_capacity = 1 << 14;
+  /// Antichain subsumption pruning for the coverability explorations
+  /// (minimal-coverability-set style; VERIFAS' biggest practical win
+  /// over the naive Karp–Miller construction). Reachability-style
+  /// consumers — returning outputs and blocking detection, the bulk of
+  /// child-oracle traffic — read the pruned graph; repeated
+  /// reachability (lasso search) needs the full closed-walk structure,
+  /// so when a query's ⊥-bit is not already settled by a blocking
+  /// witness and a Büchi-accepting state is reachable at all, an
+  /// unpruned graph is built for the lasso analysis only (see
+  /// RtEngine::ComputeEntry). Verdicts are identical with the knob on
+  /// or off, at every shard count; counterexample TEXT may differ (the
+  /// pruned path prefers a blocking witness over a prettier lasso).
+  bool prune_coverability = false;
 };
 
 /// A symbolic configuration of one task: equality component + cell.

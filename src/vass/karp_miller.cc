@@ -98,6 +98,44 @@ bool KarpMiller::SuccessorMarking(int parent_node, int target,
   return true;
 }
 
+bool KarpMiller::Dominated(int state,
+                           const std::vector<int64_t>& marking) const {
+  auto it = antichain_.find(state);
+  if (it == antichain_.end()) return false;
+  for (int a : it->second) {
+    if (marking::LessEq(marking, nodes_[a].marking)) return true;
+  }
+  return false;
+}
+
+void KarpMiller::AntichainAbsorb(int node) {
+  std::vector<int>& chain = antichain_[nodes_[node].state];
+  const std::vector<int64_t>& m = nodes_[node].marking;
+  // Entries ≤ m are strictly covered (an entry equal to m would have
+  // dominated the candidate before it was interned).
+  for (size_t i = 0; i < chain.size();) {
+    if (marking::LessEq(nodes_[chain[i]].marking, m)) {
+      int victim = chain[i];
+      if (static_cast<size_t>(victim) >= round_first_new_id_) {
+        // A same-round newcomer: unexpanded, so deactivation cuts its
+        // entire would-be subtree. Older covered entries are either
+        // already expanded or sit in the round's frontier (their
+        // expansion proceeds — round-granular deactivation keeps the
+        // sharded build's speculative expansion equivalent to the
+        // sequential one); they only leave the antichain.
+        deactivated_[static_cast<size_t>(victim)] = 1;
+        ++deactivated_count_;
+      }
+      chain[i] = chain.back();
+      chain.pop_back();
+    } else {
+      ++i;
+    }
+  }
+  chain.push_back(node);
+  antichain_peak_ = std::max(antichain_peak_, chain.size());
+}
+
 KarpMiller::CacheEntry* KarpMiller::PinCached(int state, size_t round) {
   auto it = succ_cache_.find(state);
   if (it == succ_cache_.end()) return nullptr;
@@ -155,13 +193,44 @@ void KarpMiller::Build(const std::vector<int>& initial_states) {
 }
 
 void KarpMiller::BuildSequential(const std::vector<int>& initial_states) {
+  const bool prune = options_.prune_coverability;
   std::deque<int> worklist;
+  // Per-node BFS round (pruning only): newcomers of the round being
+  // processed may still be deactivated; everything older expands.
+  std::vector<int> round;
+  // The pruned path creates nodes directly: an exact duplicate is
+  // always dominated and dropped before a node is made, so the
+  // exact-match index_ could never hit — maintaining it would be a
+  // dead marking-vector copy per node (the sharded merge skips its
+  // shard indexes for the same reason).
+  auto make_node = [&](int state, std::vector<int64_t> marking, int parent,
+                       int64_t parent_label) {
+    int id = static_cast<int>(nodes_.size());
+    Node node;
+    node.state = state;
+    node.marking = std::move(marking);
+    node.parent = parent;
+    node.parent_label = parent_label;
+    nodes_.push_back(std::move(node));
+    deactivated_.resize(nodes_.size(), 0);
+    AntichainAbsorb(id);
+    return id;
+  };
   for (int s : initial_states) {
-    bool created = false;
-    int id = InternNode(s, {}, -1, -1, &created);
-    if (created) worklist.push_back(id);
+    int id;
+    if (prune) {
+      if (Dominated(s, {})) continue;  // duplicate root state
+      id = make_node(s, {}, -1, -1);
+      round.resize(nodes_.size(), 0);
+    } else {
+      bool created = false;
+      id = InternNode(s, {}, -1, -1, &created);
+      if (!created) continue;
+    }
+    worklist.push_back(id);
   }
   size_t step = 0;
+  int cur_round = -1;
   while (!worklist.empty()) {
     if (nodes_.size() > options_.max_nodes) {
       truncated_ = true;
@@ -169,6 +238,15 @@ void KarpMiller::BuildSequential(const std::vector<int>& initial_states) {
     }
     int n = worklist.front();
     worklist.pop_front();
+    if (prune) {
+      if (round[static_cast<size_t>(n)] != cur_round) {
+        // First node of a new round: everything interned from here on
+        // is a next-round newcomer, eligible for deactivation.
+        cur_round = round[static_cast<size_t>(n)];
+        round_first_new_id_ = nodes_.size();
+      }
+      if (deactivated_[static_cast<size_t>(n)]) continue;
+    }
     const int state = nodes_[n].state;
     // Copy: interning may invalidate references into nodes_, and a
     // later insertion may evict this cache entry.
@@ -178,6 +256,17 @@ void KarpMiller::BuildSequential(const std::vector<int>& initial_states) {
     for (const VassEdge& e : out) {
       std::vector<int64_t> next;
       if (!SuccessorMarking(n, e.target, e.delta, &next)) continue;
+      if (prune) {
+        if (Dominated(e.target, next)) {
+          pruned_successors_.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        int child = make_node(e.target, std::move(next), n, e.label);
+        round.resize(nodes_.size(), cur_round + 1);
+        nodes_[n].edges.push_back(Edge{child, e.label, e.delta});
+        worklist.push_back(child);
+        continue;
+      }
       bool created = false;
       int child = InternNode(e.target, std::move(next), n, e.label, &created);
       nodes_[n].edges.push_back(Edge{child, e.label, e.delta});
@@ -207,6 +296,7 @@ void KarpMiller::BuildSequential(const std::vector<int>& initial_states) {
 //      are identical to the single-shard graph, node for node.
 void KarpMiller::BuildSharded(const std::vector<int>& initial_states) {
   const int num_shards = options_.num_shards;
+  const bool prune = options_.prune_coverability;
   ShardMap shard_map(num_shards);
 
   // Candidates cross shards in batches: per-candidate queue traffic
@@ -243,6 +333,10 @@ void KarpMiller::BuildSharded(const std::vector<int>& initial_states) {
     nodes_.push_back(std::move(node));
     owner.frontier.push_back(id);
     owner.index.emplace(std::move(key), id);
+    if (prune) {
+      deactivated_.resize(nodes_.size(), 0);
+      AntichainAbsorb(id);
+    }
   }
 
   // Round context shared with the worker team (rebuilt per round by
@@ -288,6 +382,16 @@ void KarpMiller::BuildSharded(const std::vector<int>& initial_states) {
     box.reserve(kBatch);
   };
   auto emit = [&](int w, Candidate c) {
+    // Pre-filter against the round-frozen antichain: anything dominated
+    // now stays dominated at its merge rank (the antichain's downward
+    // closure only grows), so dropping here is exactly what the serial
+    // walk would do — it just skips the routing and sorting cost. The
+    // antichain is mutated only between barriers, so this concurrent
+    // read is race-free.
+    if (prune && Dominated(c.target_state, c.marking)) {
+      pruned_successors_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
     int dest = shard_map.ShardOf(c.target_state, c.marking);
     if (dest == w || w == kInline) {
       shards[dest].received.push_back(std::move(c));
@@ -326,6 +430,11 @@ void KarpMiller::BuildSharded(const std::vector<int>& initial_states) {
   auto dedup_shard = [&](Shard& shard) {
     std::sort(shard.received.begin(), shard.received.end(),
               CandidateRankLess);
+    // Pruned builds resolve candidates in the merge's exact antichain
+    // walk instead: a candidate can never alias an existing node there
+    // (an exact duplicate is dominated and dropped), so the per-shard
+    // index has nothing to contribute beyond the sort.
+    if (prune) return;
     for (Candidate& c : shard.received) {
       NodeKey key{c.target_state, c.marking};
       auto it = shard.index.find(key);
@@ -460,12 +569,29 @@ void KarpMiller::BuildSharded(const std::vector<int>& initial_states) {
     }
 
     // Merge: walk all shards' (sorted) candidates in global rank order.
+    // Pre-size per-parent edge lists first: parents receive their edges
+    // interleaved across shards during the k-way walk, and the repeated
+    // push_back reallocations were a measurable slice of this
+    // coordinator-only phase. Every unpruned candidate appends exactly
+    // one edge; for pruned builds the tally is an upper bound (the
+    // exact filter below may still drop candidates).
+    {
+      std::unordered_map<int, size_t> per_parent;
+      for (const Shard& s : shards) {
+        for (const Candidate& c : s.received) ++per_parent[c.parent];
+      }
+      for (const auto& [parent, count] : per_parent) {
+        nodes_[parent].edges.reserve(count);
+      }
+    }
     for (Shard& s : shards) {
       s.pending_final.assign(s.pending_keys.size(), -1);
     }
     std::vector<size_t> pos(static_cast<size_t>(num_shards), 0);
     std::vector<std::vector<int>> next_frontier(
         static_cast<size_t>(num_shards));
+    if (prune) round_first_new_id_ = nodes_.size();
+    std::vector<int> round_new_nodes;
     for (;;) {
       int best = -1;
       for (int s = 0; s < num_shards; ++s) {
@@ -478,6 +604,30 @@ void KarpMiller::BuildSharded(const std::vector<int>& initial_states) {
       }
       if (best == -1) break;
       Candidate& c = shards[best].received[pos[best]++];
+      if (prune) {
+        // Exact filter, replayed in the sequential explorer's order:
+        // the emit-time pre-filter only saw the round-start antichain,
+        // so candidates dominated by THIS round's newcomers are caught
+        // here, and survivors intern + absorb exactly as the
+        // single-shard build would.
+        if (Dominated(c.target_state, c.marking)) {
+          pruned_successors_.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        int id = static_cast<int>(nodes_.size());
+        Node node;
+        node.state = c.target_state;
+        node.marking = std::move(c.marking);
+        node.parent = c.parent;
+        node.parent_label = c.label;
+        nodes_.push_back(std::move(node));
+        deactivated_.resize(nodes_.size(), 0);
+        nodes_[c.parent].edges.push_back(Edge{id, c.label,
+                                              std::move(c.delta)});
+        AntichainAbsorb(id);
+        round_new_nodes.push_back(id);
+        continue;
+      }
       int target;
       if (c.resolved >= 0) {
         target = c.resolved;
@@ -498,6 +648,15 @@ void KarpMiller::BuildSharded(const std::vector<int>& initial_states) {
       }
       nodes_[c.parent].edges.push_back(Edge{target, c.label,
                                             std::move(c.delta)});
+    }
+    if (prune) {
+      // Newcomers deactivated later in the same walk never reach a
+      // frontier — their subtree is cut before it exists.
+      for (int id : round_new_nodes) {
+        if (deactivated_[static_cast<size_t>(id)]) continue;
+        int owner = shard_map.ShardOf(nodes_[id].state, nodes_[id].marking);
+        next_frontier[static_cast<size_t>(owner)].push_back(id);
+      }
     }
     for (int s = 0; s < num_shards; ++s) {
       Shard& shard = shards[s];

@@ -22,9 +22,19 @@
 // would have used — so the produced graph (node numbering, markings,
 // edges, labels) is identical to the single-shard graph node for node,
 // independent of the thread schedule.
+//
+// With KarpMillerOptions::prune_coverability both explorers apply
+// antichain subsumption (minimal-coverability-set pruning): dominated
+// successors are discarded and strictly-covered active nodes retired.
+// The pruned graph preserves exactly the reachable VASS states (state
+// reachability is unaffected) but not the closed-walk structure lasso
+// detection needs — repeated-reachability consumers must build an
+// unpruned graph (see core/rt_relation.cc). Pruned builds keep the
+// shard-count determinism guarantee: same graph at 1, 2, ... shards.
 #ifndef HAS_VASS_KARP_MILLER_H_
 #define HAS_VASS_KARP_MILLER_H_
 
+#include <atomic>
 #include <functional>
 #include <list>
 #include <optional>
@@ -57,6 +67,22 @@ struct KarpMillerOptions {
   /// but hit/miss counts may differ across shard counts once the cap
   /// binds.
   size_t succ_cache_capacity = 1 << 14;
+  /// Antichain subsumption pruning (minimal-coverability-set style, à
+  /// la Reynier–Servais): a successor whose marking is ≤ an active
+  /// node's marking (same VASS state, ω-aware compare) is dropped
+  /// before interning, and an active node strictly covered by a
+  /// newcomer is deactivated — retired from the antichain and, if it
+  /// has not been expanded yet, excluded from the frontier, cutting its
+  /// entire would-be subtree. The pruned graph carries exactly the
+  /// REACHABLE VASS STATES of the full graph (coverability-preserving),
+  /// so state-reachability consumers (returning/blocking detection,
+  /// FindNode) are unaffected; it is NOT suitable for closed-walk
+  /// (lasso) analysis — dropped successors leave no edges, so the
+  /// pruned graph is a spanning forest. Deactivation is round-granular:
+  /// a node already in the round's frontier when it is covered still
+  /// expands, which is what keeps the sharded build node-identical to
+  /// the sequential one under pruning.
+  bool prune_coverability = false;
 };
 
 class KarpMiller {
@@ -100,6 +126,22 @@ class KarpMiller {
   /// Successor-cache accounting: one hit or miss per processed node.
   size_t succ_cache_hits() const { return cache_hits_; }
   size_t succ_cache_misses() const { return cache_misses_; }
+
+  /// Pruning accounting (all 0 unless prune_coverability). The counts
+  /// are deterministic: identical across shard counts for one system.
+  /// Successor candidates dropped by the antichain domination check.
+  size_t pruned_successors() const {
+    return pruned_successors_.load(std::memory_order_relaxed);
+  }
+  /// Nodes retired before expansion (their subtrees were never built).
+  size_t deactivated_nodes() const { return deactivated_count_; }
+  /// Largest per-state antichain observed.
+  size_t antichain_peak() const { return antichain_peak_; }
+  /// Whether node n was deactivated (always false without pruning).
+  bool node_deactivated(int n) const {
+    return static_cast<size_t>(n) < deactivated_.size() &&
+           deactivated_[static_cast<size_t>(n)] != 0;
+  }
 
  private:
   struct Node {
@@ -149,6 +191,20 @@ class KarpMiller {
   /// set clustered at the front makes eviction tail-pops O(1).
   CacheEntry* PinCached(int state, size_t round);
 
+  /// True iff `marking` is ≤ some active antichain marking of `state`
+  /// (ω-aware, 0-padded compare). Read-only; safe to call from
+  /// concurrent workers during the expansion phase because antichain
+  /// mutation is confined to the serial phases (sequential processing
+  /// / the coordinator's merge), with barriers giving happens-before.
+  bool Dominated(int state, const std::vector<int64_t>& marking) const;
+
+  /// Inserts freshly interned `node` into its state's antichain and
+  /// retires every entry its marking strictly covers. Retired entries
+  /// with id >= round_first_new_id_ (same-round newcomers, hence not
+  /// yet expanded) are deactivated: flagged so they never reach a
+  /// frontier. Serial phases only.
+  void AntichainAbsorb(int node);
+
   VassSystem* system_;
   KarpMillerOptions options_;
   std::vector<Node> nodes_;
@@ -162,6 +218,25 @@ class KarpMiller {
   size_t cache_hits_ = 0;
   size_t cache_misses_ = 0;
   bool truncated_ = false;
+
+  // --- antichain pruning state (prune_coverability only) ---------------
+  /// VASS state -> node ids whose markings are the state's maximal
+  /// active markings (pairwise incomparable). Frozen during concurrent
+  /// phases; mutated only by serial code.
+  std::unordered_map<int, std::vector<int>> antichain_;
+  /// Per node: retired before expansion (parallel to nodes_).
+  std::vector<char> deactivated_;
+  /// First node id of the current round's newcomers: entries at or
+  /// beyond it are unexpanded and may still be deactivated; older
+  /// covered entries only leave the antichain (round-granular
+  /// deactivation — see KarpMillerOptions::prune_coverability).
+  size_t round_first_new_id_ = 0;
+  /// Relaxed atomic: bumped from concurrent workers' emit-time
+  /// pre-filter as well as from the serial exact filter. The total is
+  /// deterministic (each dominated candidate is counted exactly once).
+  std::atomic<size_t> pruned_successors_{0};
+  size_t deactivated_count_ = 0;
+  size_t antichain_peak_ = 0;
 };
 
 }  // namespace has

@@ -1,0 +1,119 @@
+// Edge cases of the explorer's bounded LRU successor cache
+// (KarpMillerOptions::succ_cache_capacity): a capacity of 1, the
+// deferral of pinned-round evictions to the round end, and the hit/miss
+// counter accounting contract (exactly one hit or miss per processed
+// coverability node).
+#include <gtest/gtest.h>
+
+#include "vass/karp_miller.h"
+
+namespace has {
+namespace {
+
+/// s0 fans out to three pump states A, B, A' where A and A' share VASS
+/// state 1 — so one BFS round holds the state sequence [1, 2, 1] and a
+/// capacity-1 cache can only stay correct by keeping round-pinned
+/// entries alive past the cap.
+ExplicitVass FanVass() {
+  ExplicitVass v(4);
+  v.AddAction(0, {{0, +1}}, 1);  // -> state 1, marking (1)
+  v.AddAction(0, {{1, +1}}, 2);  // -> state 2, marking (0,1)
+  v.AddAction(0, {{2, +1}}, 1);  // -> state 1, marking (0,0,1)
+  v.AddAction(1, {{0, +1}}, 3);
+  v.AddAction(2, {{1, +1}}, 3);
+  return v;
+}
+
+void ExpectSameGraph(const KarpMiller& a, const KarpMiller& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  for (int n = 0; n < a.num_nodes(); ++n) {
+    EXPECT_EQ(a.node_state(n), b.node_state(n)) << n;
+    EXPECT_EQ(a.node_marking(n), b.node_marking(n)) << n;
+    EXPECT_EQ(a.node_parent(n), b.node_parent(n)) << n;
+    ASSERT_EQ(a.edges(n).size(), b.edges(n).size()) << n;
+    for (size_t i = 0; i < a.edges(n).size(); ++i) {
+      EXPECT_EQ(a.edges(n)[i].target, b.edges(n)[i].target) << n;
+      EXPECT_EQ(a.edges(n)[i].label, b.edges(n)[i].label) << n;
+    }
+  }
+}
+
+TEST(SuccCacheTest, CapacityOneProducesTheSameGraph) {
+  ExplicitVass v1 = FanVass();
+  KarpMiller unbounded(&v1, {});
+  unbounded.Build({0});
+  for (int shards : {1, 2}) {
+    ExplicitVass v2 = FanVass();
+    KarpMillerOptions options;
+    options.succ_cache_capacity = 1;
+    options.num_shards = shards;
+    KarpMiller tiny(&v2, options);
+    tiny.Build({0});
+    ExpectSameGraph(unbounded, tiny);
+  }
+}
+
+TEST(SuccCacheTest, OneHitOrMissPerProcessedNode) {
+  // The accounting contract: every processed (expanded) node charges
+  // exactly one hit or one miss, regardless of capacity.
+  for (size_t capacity : {size_t{1}, size_t{2}, size_t{1} << 14}) {
+    ExplicitVass v = FanVass();
+    KarpMillerOptions options;
+    options.succ_cache_capacity = capacity;
+    KarpMiller g(&v, options);
+    g.Build({0});
+    EXPECT_EQ(g.succ_cache_hits() + g.succ_cache_misses(),
+              static_cast<size_t>(g.num_nodes()))
+        << "capacity=" << capacity;
+  }
+}
+
+TEST(SuccCacheTest, PinnedRoundEntrySurvivesCapacityOne) {
+  // Sharded rounds pin every frontier state's entry: with capacity 1
+  // and the round [state 1, state 2, state 1], the state-1 entry must
+  // survive the state-2 insertion (its edge list may still be read
+  // this round), so the third commit HITS. Eviction beyond the cap
+  // happens only once the round's pins are released.
+  ExplicitVass v = FanVass();
+  KarpMillerOptions options;
+  options.succ_cache_capacity = 1;
+  options.num_shards = 2;
+  KarpMiller g(&v, options);
+  g.Build({0});
+  // Round 1: miss(s0). Round 2, frontier [1, 2, 1]: miss(1), miss(2),
+  // then a HIT on state 1 — possible only because the pinned entry was
+  // not evicted when state 2 overflowed the cap. Round 3 (state 3):
+  // one more miss.
+  EXPECT_GE(g.succ_cache_hits(), 1u);
+  EXPECT_EQ(g.succ_cache_hits() + g.succ_cache_misses(),
+            static_cast<size_t>(g.num_nodes()));
+}
+
+TEST(SuccCacheTest, UnpinnedEntriesEvictAtCapacityOne) {
+  // Once a round ends, its pins expire: revisiting an old state in a
+  // LATER round must re-miss at capacity 1 (the entry was evicted),
+  // while an unbounded cache hits. Chain: s0 -> s1 -> s2 -> s1' where
+  // s1' re-enters state 1 with a bigger marking (distinct node, same
+  // VASS state, different round).
+  ExplicitVass v(3);
+  v.AddAction(0, {{0, +1}}, 1);
+  v.AddAction(1, {{0, +1}}, 2);
+  v.AddAction(2, {{0, +1}}, 1);  // back to state 1, next round
+  KarpMillerOptions tiny_options;
+  tiny_options.succ_cache_capacity = 1;
+  ExplicitVass v1 = v;
+  KarpMiller tiny(&v1, tiny_options);
+  tiny.Build({0});
+  ExplicitVass v2 = v;
+  KarpMiller big(&v2, {});
+  big.Build({0});
+  ExpectSameGraph(big, tiny);
+  // The unbounded cache hits when state 1 recurs; the capacity-1 cache
+  // has evicted it by then and misses strictly more often.
+  EXPECT_GT(tiny.succ_cache_misses(), big.succ_cache_misses());
+  EXPECT_EQ(tiny.succ_cache_hits() + tiny.succ_cache_misses(),
+            static_cast<size_t>(tiny.num_nodes()));
+}
+
+}  // namespace
+}  // namespace has
