@@ -1,9 +1,10 @@
 // Antichain-pruning benchmark: end-to-end verification with
-// VerifierOptions::prune_coverability off (arg 0) vs. on (arg 1) per
-// workload family, reporting the DETERMINISTIC exploration counters —
-// coverability nodes/edges (including any full-graph lasso fallbacks),
-// dropped successors, deactivated nodes, antichain peak, full-graph
-// fallback count, product states and interned types. The counters are
+// VerifierOptions::prune_coverability off (arg 0) vs. on (arg 1, the
+// default) per workload family, reporting the DETERMINISTIC
+// exploration counters — coverability nodes/edges, dropped successors,
+// deactivated nodes, antichain peak, recorded cover-edges, full-graph
+// fallback count (pinned at 0 since the cover-edge lasso path landed),
+// product states and interned types. The counters are
 // schedule- and host-independent (identical at every shard count), so
 // bench/baselines/bench_pruning.json doubles as a perf-regression
 // oracle: scripts/check_bench_counters.py fails CI on unexplained
@@ -50,6 +51,9 @@ void RunVerification(benchmark::State& state, const Workload& w) {
       static_cast<double>(stats.deactivated_nodes);
   state.counters["antichain_peak"] =
       static_cast<double>(stats.antichain_peak);
+  state.counters["cover_edges"] = static_cast<double>(stats.cover_edges);
+  // Always 0 since lasso analysis runs on the pruned graph itself;
+  // scripts/check_bench_counters.py fails the gate if it ever revives.
   state.counters["full_graph_builds"] =
       static_cast<double>(stats.full_graph_builds);
 }

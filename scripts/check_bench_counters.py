@@ -4,11 +4,15 @@
 Compares the DETERMINISTIC exploration counters of a Google-Benchmark
 JSON run against a committed baseline and fails on unexplained growth.
 The gated counters (coverability nodes/edges, product states, interned
-types, full-graph fallback builds) are pure work counts: they are
-schedule- and host-independent, so exceeding the baseline means the
-change genuinely made the verifier explore more — unlike wall-clock,
-which stays informational (the committed baselines come from a 1-vCPU
-container; see ROADMAP.md).
+types, recorded cover-edges) are pure work counts: they are schedule-
+and host-independent, so exceeding the baseline means the change
+genuinely made the verifier explore more — unlike wall-clock, which
+stays informational (the committed baselines come from a 1-vCPU
+container; see ROADMAP.md). full_graph_builds must be exactly 0 in
+every run: the pruned path's full-graph lasso fallback is retired
+(lasso search traverses the pruned graph's cover-edges), and this
+counter coming back nonzero is the regression the gate exists to
+catch.
 
 Usage:
   check_bench_counters.py BASELINE.json RUN.json [--tolerance PCT]
@@ -29,6 +33,13 @@ GATED = [
     "cov_edges",
     "product_states",
     "pooled_types",
+    "cover_edges",
+]
+# Counters that must be EXACTLY ZERO in every run: lasso analysis runs
+# on the pruned graph itself (via cover-edges), so a single full-graph
+# rebuild means the fallback came back. Checked against the run alone —
+# a stale baseline cannot grandfather a regression in.
+EXPECT_ZERO = [
     "full_graph_builds",
 ]
 # Deterministic but directionless: a drift is worth a look, not a fail
@@ -112,6 +123,27 @@ def main():
                 notes.append(
                     f"{name}: wall-clock {(c - b) / b:+.1%} vs baseline "
                     "(informational; hosts differ)"
+                )
+
+    # Zero-expected counters are checked against the RUN alone (every
+    # benchmark, baselined or not): a stale baseline cannot grandfather
+    # a revived fallback in. A benchmark that exports the counter in
+    # the baseline but not in the run fails too — deleting the counter
+    # must not silently disarm the tripwire.
+    for name, cur in sorted(run.items()):
+        for counter in EXPECT_ZERO:
+            if counter not in cur:
+                if name in baseline and counter in baseline[name]:
+                    failures.append(
+                        f"{name}: zero-expected counter {counter} "
+                        "disappeared from the run"
+                    )
+                continue
+            if float(cur[counter]) != 0.0:
+                failures.append(
+                    f"{name}: {counter} must be 0, got "
+                    f"{float(cur[counter]):.0f} (the full-graph lasso "
+                    "fallback is retired)"
                 )
 
     for name in sorted(set(run) - set(baseline)):

@@ -8,6 +8,31 @@
 
 namespace has {
 
+namespace {
+
+/// Releases the engine-wide shard token on every exit path. The token
+/// used to be released by a plain store at the end of ComputeEntry, so
+/// any exception between acquire and release (e.g. a HAS_CHECK inside
+/// a build) leaked it and silently degraded every later query to
+/// sequential exploration.
+class ShardTokenGuard {
+ public:
+  ShardTokenGuard(std::atomic<int>* token, bool held)
+      : token_(token), held_(held) {}
+  ~ShardTokenGuard() {
+    if (held_) token_->store(0);
+  }
+  ShardTokenGuard(const ShardTokenGuard&) = delete;
+  ShardTokenGuard& operator=(const ShardTokenGuard&) = delete;
+  bool held() const { return held_; }
+
+ private:
+  std::atomic<int>* token_;
+  bool held_;
+};
+
+}  // namespace
+
 RtEngine::RtEngine(const ArtifactSystem* system, const HltlProperty* property,
                    const VerifierOptions& options, const Hcd* hcd)
     : system_(system), property_(property), options_(options), hcd_(hcd) {
@@ -94,13 +119,12 @@ void RtEngine::ComputeEntry(const RtQueryKey& key,
   // Take the shard token if free: the outermost in-flight exploration
   // gets the worker team; nested child builds (reached from its
   // workers) run sequential instead of multiplying threads per level.
-  // The token is held across BOTH builds of a pruned query (pruned
-  // reachability graph + possible full lasso graph).
   int expected = 0;
-  const bool shard_this =
+  ShardTokenGuard shard_token(
+      &sharded_builds_,
       options_.num_shards > 1 &&
-      sharded_builds_.compare_exchange_strong(expected, 1);
-  km_options.num_shards = shard_this ? options_.num_shards : 1;
+          sharded_builds_.compare_exchange_strong(expected, 1));
+  km_options.num_shards = shard_token.held() ? options_.num_shards : 1;
   entry->graph = std::make_unique<KarpMiller>(entry->vass.get(), km_options);
   entry->graph->Build(entry->vass->InitialStates());
 
@@ -130,49 +154,42 @@ void RtEngine::ComputeEntry(const RtQueryKey& key,
       break;
     }
   }
-  // Lasso runs. The closed-walk SCC analysis needs the full coverage
-  // graph: pruning drops subsumed successors without leaving edges, so
-  // a pruned graph is a spanning forest with no cycles to find. With
-  // pruning off, `graph` IS the full graph and doubles as the lasso
-  // graph (computed even when a blocking witness already settled ⊥ —
-  // the lasso witness is nicer for counterexamples — unless the graph
-  // is large). With pruning on, a full graph is built only when the
-  // ⊥-bit is still open AND some Büchi-accepting state is reachable —
-  // pruned and full graphs carry the same state set, so scanning the
-  // pruned graph for accepting states is a sound (and cheap) gate.
-  const bool pruned = options_.prune_coverability;
+  // Lasso runs, directly on `entry->graph`: with pruning on, the
+  // closed-walk structure lives in the recorded cover-edges and
+  // FindAcceptingLasso knows how to traverse them (vass/repeated.h);
+  // with pruning off, the graph is the classical full coverability
+  // graph. Either way no second exploration is ever built — the old
+  // full-graph fallback (and its 12–22x node blow-up on lasso-heavy
+  // families) is gone, which is what keeps stats_.full_graph_builds
+  // pinned at zero. The lasso search runs when the ⊥-bit is still
+  // open and some Büchi-accepting state is reachable (a per-state
+  // scan, exact under pruning), and also — for a nicer witness than
+  // the blocking one — when ⊥ is already settled but the graph is
+  // small enough (VerifierOptions::lasso_witness_max_nodes).
   const auto accepting = [&](int state) {
     return entry->vass->IsBuchiAccepting(state);
   };
-  // Scoped to ComputeEntry: the witness keeps only label sequences
-  // (graph-independent transition-record ids), so the 12–22x-larger
-  // unpruned graph is reclaimed before the entry is memoized.
-  std::unique_ptr<KarpMiller> full_graph;
-  bool need_lasso;
-  if (pruned) {
-    need_lasso =
-        !entry->result.has_bottom && entry->graph->FindNode(accepting) >= 0;
-    if (need_lasso) {
-      KarpMillerOptions full_options = km_options;
-      full_options.prune_coverability = false;
-      full_graph = std::make_unique<KarpMiller>(entry->vass.get(),
-                                                full_options);
-      full_graph->Build(entry->vass->InitialStates());
-    }
-  } else {
-    need_lasso =
-        !entry->result.has_bottom || entry->graph->num_nodes() < 20000;
-  }
+  const bool need_lasso =
+      entry->result.has_bottom
+          ? static_cast<size_t>(entry->graph->num_nodes()) <
+                options_.lasso_witness_max_nodes
+          : entry->graph->FindNode(accepting) >= 0;
+  bool lasso_budget_exhausted = false;
   if (need_lasso) {
-    const KarpMiller& lasso_graph =
-        full_graph != nullptr ? *full_graph : *entry->graph;
     RepeatedReachabilityOptions rr;
     rr.effect_bound = options_.lasso_effect_bound;
     rr.max_steps = options_.lasso_max_steps;
-    entry->lasso = FindAcceptingLasso(lasso_graph, accepting, rr);
+    entry->lasso = FindAcceptingLasso(*entry->graph, accepting, rr,
+                                      &lasso_budget_exhausted);
     if (entry->lasso.has_value()) entry->result.has_bottom = true;
   }
-  if (shard_this) sharded_builds_.store(0);
+  // A budget-cut lasso search that found nothing leaves the ⊥-bit
+  // genuinely unknown when nothing else settled it: fold that into
+  // `truncated` so the verdict degrades to INCONCLUSIVE instead of a
+  // silent HOLDS. (When blocking already set ⊥, the search was pure
+  // witness polish and the cut is harmless.)
+  const bool lasso_unresolved =
+      lasso_budget_exhausted && !entry->result.has_bottom;
 
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -191,18 +208,9 @@ void RtEngine::ComputeEntry(const RtQueryKey& key,
     stats_.deactivated_nodes += entry->graph->deactivated_nodes();
     stats_.antichain_peak =
         std::max(stats_.antichain_peak, entry->graph->antichain_peak());
+    stats_.cover_edges += entry->graph->cover_edges();
     stats_.truncated = stats_.truncated || entry->graph->truncated() ||
-                       entry->vass->truncated();
-    if (full_graph != nullptr) {
-      // The fallback's work is real: count its nodes/edges so pruned
-      // cov_nodes honestly reflect TOTAL exploration effort.
-      ++stats_.full_graph_builds;
-      stats_.cov_nodes += full_graph->num_nodes();
-      stats_.cov_edges += full_graph->TotalEdges();
-      stats_.succ_cache_hits += full_graph->succ_cache_hits();
-      stats_.succ_cache_misses += full_graph->succ_cache_misses();
-      stats_.truncated = stats_.truncated || full_graph->truncated();
-    }
+                       entry->vass->truncated() || lasso_unresolved;
   }
 }
 

@@ -41,11 +41,16 @@ struct RtStats {
   size_t succ_cache_misses = 0;
   /// Antichain-pruning accounting (0 unless prune_coverability):
   /// successor candidates dropped by domination, nodes retired before
-  /// expansion, largest per-state antichain seen, and how many queries
-  /// had to fall back to a full (unpruned) graph for lasso analysis.
+  /// expansion, largest per-state antichain seen, and cover-edges
+  /// recorded at the prune points (one per drop, one per retirement).
   size_t pruned_successors = 0;
   size_t deactivated_nodes = 0;
   size_t antichain_peak = 0;
+  size_t cover_edges = 0;
+  /// Queries that fell back to rebuilding a full (unpruned) graph for
+  /// lasso analysis. Lasso search runs on the pruned graph itself via
+  /// its cover-edges, so this is ALWAYS 0 now; the counter is kept as
+  /// a regression tripwire (tests and the CI bench gate assert zero).
   size_t full_graph_builds = 0;
   bool truncated = false;
 };
@@ -103,12 +108,11 @@ class RtEngine : public RtOracle {
     std::unique_ptr<KarpMiller> graph;
     /// Per returning outcome: a coverability node realizing it.
     std::vector<int> returning_nodes;
-    /// Blocking witness node (-1 if none) and lasso witness. With
-    /// pruning on, the lasso analysis runs on a TEMPORARY unpruned
-    /// graph (discarded once the witness labels are extracted — see
-    /// ComputeEntry), so `lasso->node` is meaningful only when pruning
-    /// is off; consumers must use the witness LABEL sequences, which
-    /// are transition-record ids valid independent of any graph.
+    /// Blocking witness node (-1 if none) and lasso witness. The lasso
+    /// analysis runs on `graph` itself — pruned graphs carry the
+    /// closed-walk structure in their cover-edges — so `lasso->node`
+    /// always indexes into `graph`; the witness LABEL sequences are
+    /// transition-record ids valid independent of any graph.
     int blocking_node = -1;
     std::optional<LassoWitness> lasso;
     TaskId task = kNoTask;

@@ -38,6 +38,12 @@ struct VerifierOptions {
   /// Repeated-reachability search knobs (see vass/repeated.h).
   int64_t lasso_effect_bound = 128;
   size_t lasso_max_steps = 1 << 20;
+  /// When a blocking witness has already settled a query's ⊥-bit, the
+  /// lasso search is pure counterexample polish — a lasso reads nicer
+  /// than a blocking run — so it only runs if the coverability graph
+  /// has fewer nodes than this. (Previously a buried `< 20000` literal
+  /// on the unpruned path only; now honored with pruning on or off.)
+  size_t lasso_witness_max_nodes = 20000;
   /// Worker shards per coverability exploration: 1 = the sequential
   /// explorer; > 1 shards Karp–Miller frontiers across that many
   /// threads. The sharded build is deterministic and produces a graph
@@ -48,17 +54,17 @@ struct VerifierOptions {
   size_t succ_cache_capacity = 1 << 14;
   /// Antichain subsumption pruning for the coverability explorations
   /// (minimal-coverability-set style; VERIFAS' biggest practical win
-  /// over the naive Karp–Miller construction). Reachability-style
-  /// consumers — returning outputs and blocking detection, the bulk of
-  /// child-oracle traffic — read the pruned graph; repeated
-  /// reachability (lasso search) needs the full closed-walk structure,
-  /// so when a query's ⊥-bit is not already settled by a blocking
-  /// witness and a Büchi-accepting state is reachable at all, an
-  /// unpruned graph is built for the lasso analysis only (see
-  /// RtEngine::ComputeEntry). Verdicts are identical with the knob on
-  /// or off, at every shard count; counterexample TEXT may differ (the
-  /// pruned path prefers a blocking witness over a prettier lasso).
-  bool prune_coverability = false;
+  /// over the naive Karp–Miller construction). Every consumer reads
+  /// the pruned graph: returning outputs and blocking detection are
+  /// per-state predicates (pruning preserves exactly the reachable
+  /// states), and repeated reachability (lasso search) traverses the
+  /// cover-edges the pruned build records at its prune points — no
+  /// unpruned graph is ever rebuilt (see RtEngine::ComputeEntry and
+  /// vass/repeated.h). Default ON since the cover-edge lasso path
+  /// landed; verdicts are identical with the knob on or off, at every
+  /// shard count, but counterexample TEXT may differ (the graphs find
+  /// different — equally valid — witnesses).
+  bool prune_coverability = true;
 };
 
 /// A symbolic configuration of one task: equality component + cell.

@@ -98,14 +98,14 @@ bool KarpMiller::SuccessorMarking(int parent_node, int target,
   return true;
 }
 
-bool KarpMiller::Dominated(int state,
-                           const std::vector<int64_t>& marking) const {
+int KarpMiller::DominatorOf(int state,
+                            const std::vector<int64_t>& marking) const {
   auto it = antichain_.find(state);
-  if (it == antichain_.end()) return false;
+  if (it == antichain_.end()) return -1;
   for (int a : it->second) {
-    if (marking::LessEq(marking, nodes_[a].marking)) return true;
+    if (marking::LessEq(marking, nodes_[a].marking)) return a;
   }
-  return false;
+  return -1;
 }
 
 void KarpMiller::AntichainAbsorb(int node) {
@@ -125,6 +125,13 @@ void KarpMiller::AntichainAbsorb(int node) {
         // sequential one); they only leave the antichain.
         deactivated_[static_cast<size_t>(victim)] = 1;
         ++deactivated_count_;
+        // The retired node never expands, so walks entering it would
+        // dead-end; a label-less cover-edge to the (strictly larger)
+        // coverer keeps the closed-walk structure: anything the victim
+        // could do, the coverer's subtree over-approximates.
+        nodes_[static_cast<size_t>(victim)].edges.push_back(
+            Edge{node, -1, {}, /*cover=*/true});
+        ++cover_edges_;
       }
       chain[i] = chain.back();
       chain.pop_back();
@@ -219,7 +226,7 @@ void KarpMiller::BuildSequential(const std::vector<int>& initial_states) {
   for (int s : initial_states) {
     int id;
     if (prune) {
-      if (Dominated(s, {})) continue;  // duplicate root state
+      if (DominatorOf(s, {}) >= 0) continue;  // duplicate root state
       id = make_node(s, {}, -1, -1);
       round.resize(nodes_.size(), 0);
     } else {
@@ -257,8 +264,15 @@ void KarpMiller::BuildSequential(const std::vector<int>& initial_states) {
       std::vector<int64_t> next;
       if (!SuccessorMarking(n, e.target, e.delta, &next)) continue;
       if (prune) {
-        if (Dominated(e.target, next)) {
-          pruned_successors_.fetch_add(1, std::memory_order_relaxed);
+        int dom = DominatorOf(e.target, next);
+        if (dom >= 0) {
+          // Dropped successor: keep the transition as a cover-edge to
+          // the dominating node — the action is real, only its target
+          // marking was folded into the (larger) antichain entry.
+          nodes_[n].edges.push_back(Edge{dom, e.label, e.delta,
+                                         /*cover=*/true});
+          ++cover_edges_;
+          ++pruned_successors_;
           continue;
         }
         int child = make_node(e.target, std::move(next), n, e.label);
@@ -382,16 +396,12 @@ void KarpMiller::BuildSharded(const std::vector<int>& initial_states) {
     box.reserve(kBatch);
   };
   auto emit = [&](int w, Candidate c) {
-    // Pre-filter against the round-frozen antichain: anything dominated
-    // now stays dominated at its merge rank (the antichain's downward
-    // closure only grows), so dropping here is exactly what the serial
-    // walk would do — it just skips the routing and sorting cost. The
-    // antichain is mutated only between barriers, so this concurrent
-    // read is race-free.
-    if (prune && Dominated(c.target_state, c.marking)) {
-      pruned_successors_.fetch_add(1, std::memory_order_relaxed);
-      return;
-    }
+    // Pruned builds used to pre-filter dominated candidates here
+    // against the round-frozen antichain. With cover-edge recording
+    // every dominated candidate must instead reach the coordinator's
+    // merge: its cover-edge target is whatever the LIVE antichain holds
+    // at the candidate's global rank (the sequential explorer's exact
+    // decision point), which only the rank-order replay can know.
     int dest = shard_map.ShardOf(c.target_state, c.marking);
     if (dest == w || w == kInline) {
       shards[dest].received.push_back(std::move(c));
@@ -432,8 +442,8 @@ void KarpMiller::BuildSharded(const std::vector<int>& initial_states) {
               CandidateRankLess);
     // Pruned builds resolve candidates in the merge's exact antichain
     // walk instead: a candidate can never alias an existing node there
-    // (an exact duplicate is dominated and dropped), so the per-shard
-    // index has nothing to contribute beyond the sort.
+    // (an exact duplicate is dominated and becomes a cover-edge), so
+    // the per-shard index has nothing to contribute beyond the sort.
     if (prune) return;
     for (Candidate& c : shard.received) {
       NodeKey key{c.target_state, c.marking};
@@ -572,9 +582,9 @@ void KarpMiller::BuildSharded(const std::vector<int>& initial_states) {
     // Pre-size per-parent edge lists first: parents receive their edges
     // interleaved across shards during the k-way walk, and the repeated
     // push_back reallocations were a measurable slice of this
-    // coordinator-only phase. Every unpruned candidate appends exactly
-    // one edge; for pruned builds the tally is an upper bound (the
-    // exact filter below may still drop candidates).
+    // coordinator-only phase. Every candidate appends exactly one edge
+    // to its parent: a real edge, or (pruned builds) a cover-edge when
+    // the exact filter below folds it into a dominator.
     {
       std::unordered_map<int, size_t> per_parent;
       for (const Shard& s : shards) {
@@ -606,12 +616,17 @@ void KarpMiller::BuildSharded(const std::vector<int>& initial_states) {
       Candidate& c = shards[best].received[pos[best]++];
       if (prune) {
         // Exact filter, replayed in the sequential explorer's order:
-        // the emit-time pre-filter only saw the round-start antichain,
-        // so candidates dominated by THIS round's newcomers are caught
-        // here, and survivors intern + absorb exactly as the
-        // single-shard build would.
-        if (Dominated(c.target_state, c.marking)) {
-          pruned_successors_.fetch_add(1, std::memory_order_relaxed);
+        // a dominated candidate becomes a cover-edge to the live
+        // antichain's dominator at this exact rank — the same target
+        // the single-shard build records — and survivors intern +
+        // absorb exactly as the single-shard build would.
+        int dom = DominatorOf(c.target_state, c.marking);
+        if (dom >= 0) {
+          nodes_[c.parent].edges.push_back(Edge{dom, c.label,
+                                                std::move(c.delta),
+                                                /*cover=*/true});
+          ++cover_edges_;
+          ++pruned_successors_;
           continue;
         }
         int id = static_cast<int>(nodes_.size());

@@ -27,14 +27,18 @@
 // antichain subsumption (minimal-coverability-set pruning): dominated
 // successors are discarded and strictly-covered active nodes retired.
 // The pruned graph preserves exactly the reachable VASS states (state
-// reachability is unaffected) but not the closed-walk structure lasso
-// detection needs — repeated-reachability consumers must build an
-// unpruned graph (see core/rt_relation.cc). Pruned builds keep the
-// shard-count determinism guarantee: same graph at 1, 2, ... shards.
+// reachability is unaffected), and it records a COVER-EDGE at each of
+// the two prune points — a dropped successor becomes an edge from its
+// parent to the antichain node that dominated it (keeping the dropped
+// transition's label and delta), and a retired node gets a label-less
+// edge to its coverer — so the pruned forest plus cover-edges carries
+// the closed-walk structure repeated-reachability (lasso) consumers
+// need: see vass/repeated.h for the criterion and why traversing
+// cover-edges is sound. Pruned builds keep the shard-count determinism
+// guarantee: same graph (cover-edges included) at 1, 2, ... shards.
 #ifndef HAS_VASS_KARP_MILLER_H_
 #define HAS_VASS_KARP_MILLER_H_
 
-#include <atomic>
 #include <functional>
 #include <list>
 #include <optional>
@@ -76,12 +80,13 @@ struct KarpMillerOptions {
   /// entire would-be subtree. The pruned graph carries exactly the
   /// REACHABLE VASS STATES of the full graph (coverability-preserving),
   /// so state-reachability consumers (returning/blocking detection,
-  /// FindNode) are unaffected; it is NOT suitable for closed-walk
-  /// (lasso) analysis — dropped successors leave no edges, so the
-  /// pruned graph is a spanning forest. Deactivation is round-granular:
-  /// a node already in the round's frontier when it is covered still
-  /// expands, which is what keeps the sharded build node-identical to
-  /// the sequential one under pruning.
+  /// FindNode) are unaffected. Both prune points additionally record a
+  /// cover-edge (Edge::cover) so closed-walk (lasso) analysis runs
+  /// directly on the pruned graph — see the file comment and
+  /// vass/repeated.h. Deactivation is round-granular: a node already
+  /// in the round's frontier when it is covered still expands, which
+  /// is what keeps the sharded build node-identical to the sequential
+  /// one under pruning.
   bool prune_coverability = false;
 };
 
@@ -102,10 +107,25 @@ class KarpMiller {
 
   /// A coverability-graph edge. Keeps the raw action delta: closed-walk
   /// effects on ω-coordinates are not recoverable from the markings.
+  ///
+  /// With pruning, `cover` marks a subsumption edge recorded at a prune
+  /// point instead of a materialized successor:
+  ///   - a DROPPED successor (marking dominated by an antichain node)
+  ///     becomes a cover-edge from its parent to the dominator, keeping
+  ///     the dropped transition's label and delta — the transition is
+  ///     real, only its target was folded into a larger node;
+  ///   - a RETIRED (deactivated) node gets a label-less (-1, empty
+  ///     delta) cover-edge to the newcomer that strictly covers it, so
+  ///     walks entering the retired node continue through the coverer's
+  ///     subtree.
+  /// Both jumps land on a marking ≥ the one the unpruned graph would
+  /// have carried (effect-widening), which is what makes them sound for
+  /// the lasso criterion in vass/repeated.cc.
   struct Edge {
     int target = -1;
     int64_t label = -1;
     Delta delta;
+    bool cover = false;
   };
 
   /// Graph edges out of node n.
@@ -130,13 +150,14 @@ class KarpMiller {
   /// Pruning accounting (all 0 unless prune_coverability). The counts
   /// are deterministic: identical across shard counts for one system.
   /// Successor candidates dropped by the antichain domination check.
-  size_t pruned_successors() const {
-    return pruned_successors_.load(std::memory_order_relaxed);
-  }
+  size_t pruned_successors() const { return pruned_successors_; }
   /// Nodes retired before expansion (their subtrees were never built).
   size_t deactivated_nodes() const { return deactivated_count_; }
   /// Largest per-state antichain observed.
   size_t antichain_peak() const { return antichain_peak_; }
+  /// Cover-edges recorded at the prune points (one per dropped
+  /// successor plus one per retired node; included in TotalEdges).
+  size_t cover_edges() const { return cover_edges_; }
   /// Whether node n was deactivated (always false without pruning).
   bool node_deactivated(int n) const {
     return static_cast<size_t>(n) < deactivated_.size() &&
@@ -191,18 +212,19 @@ class KarpMiller {
   /// set clustered at the front makes eviction tail-pops O(1).
   CacheEntry* PinCached(int state, size_t round);
 
-  /// True iff `marking` is ≤ some active antichain marking of `state`
-  /// (ω-aware, 0-padded compare). Read-only; safe to call from
-  /// concurrent workers during the expansion phase because antichain
-  /// mutation is confined to the serial phases (sequential processing
-  /// / the coordinator's merge), with barriers giving happens-before.
-  bool Dominated(int state, const std::vector<int64_t>& marking) const;
+  /// First active antichain node of `state` whose marking dominates
+  /// `marking` (ω-aware, 0-padded compare); -1 if none. The chain-order
+  /// "first" is deterministic because the antichain is mutated only by
+  /// serial code replaying the sequential decision order, so the cover-
+  /// edge target it yields is identical at every shard count.
+  int DominatorOf(int state, const std::vector<int64_t>& marking) const;
 
   /// Inserts freshly interned `node` into its state's antichain and
   /// retires every entry its marking strictly covers. Retired entries
   /// with id >= round_first_new_id_ (same-round newcomers, hence not
   /// yet expanded) are deactivated: flagged so they never reach a
-  /// frontier. Serial phases only.
+  /// frontier, and given a cover-edge to `node` so walks entering them
+  /// continue through the coverer's subtree. Serial phases only.
   void AntichainAbsorb(int node);
 
   VassSystem* system_;
@@ -231,12 +253,15 @@ class KarpMiller {
   /// covered entries only leave the antichain (round-granular
   /// deactivation — see KarpMillerOptions::prune_coverability).
   size_t round_first_new_id_ = 0;
-  /// Relaxed atomic: bumped from concurrent workers' emit-time
-  /// pre-filter as well as from the serial exact filter. The total is
-  /// deterministic (each dominated candidate is counted exactly once).
-  std::atomic<size_t> pruned_successors_{0};
+  /// Counted by the serial exact filter only (each dominated candidate
+  /// exactly once, in the sequential decision order). No longer
+  /// atomic: recording a deterministic cover-edge per drop requires
+  /// every candidate to reach the serial walk, so the sharded build's
+  /// old emit-time pre-filter — the one concurrent writer — is gone.
+  size_t pruned_successors_ = 0;
   size_t deactivated_count_ = 0;
   size_t antichain_peak_ = 0;
+  size_t cover_edges_ = 0;
 };
 
 }  // namespace has

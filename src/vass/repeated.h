@@ -1,11 +1,32 @@
 // Repeated state reachability (lasso detection) on a Karp–Miller
-// coverability graph. A VASS state q is repeatedly reachable iff the
-// graph has a reachable node n carrying q that lies on a closed walk
-// whose net effect is ≥ 0 on every ω-coordinate (exact coordinates
-// return to the same value around any closed walk by construction).
-// Soundness and completeness of the criterion follow from the pumping
-// property of Karp–Miller trees and Dickson's lemma (cf. Habermehl's
+// coverability graph — full or antichain-pruned. On a FULL graph a
+// VASS state q is repeatedly reachable iff the graph has a reachable
+// node n carrying q that lies on a closed walk whose net effect is
+// ≥ 0 on every ω-coordinate (exact coordinates return to the same
+// value around any closed walk by construction). Soundness and
+// completeness of the criterion follow from the pumping property of
+// Karp–Miller trees and Dickson's lemma (cf. Habermehl's
 // coverability-graph model checking, the paper's reference [33]).
+//
+// On a PRUNED graph the real edges form a forest; closed-walk
+// structure lives in the recorded cover-edges (KarpMiller::Edge::
+// cover), which jump to a node whose marking is ≥ the one the unpruned
+// graph would have carried. The jump widens the recorded marking,
+// so exact coordinates no longer return to the same value for free:
+// within an SCC containing cover-edges the search therefore tracks
+// the net delta effect on EVERY dimension the SCC's edges touch and
+// demands
+//   - net ≥ 0 on all of them (so laps never drain a counter), and
+//   - prefix sums ≥ -marking[d] on the exact dimensions (so one lap is
+//     actually enabled from the start node's exact counter values).
+// Sound: such a walk replays forever from the start node's marking
+// (exact coordinates only grow lap over lap; ω-coordinates are pumped
+// high enough by the stem). Complete: the image of a full-graph lasso
+// under the dominator mapping is such a walk — real deltas are kept
+// verbatim by drop cover-edges and retire cover-edges add zero-delta
+// label-less hops, so its net is 0 on exact and ≥ 0 on ω dimensions.
+// Cover-free SCCs (every SCC of a full graph) keep the cheaper
+// classical criterion.
 //
 // The closed-walk search is exhaustive up to the configured effect
 // bound and step budget — exact for every system in this repository
@@ -24,7 +45,12 @@ namespace has {
 struct LassoWitness {
   int node = -1;                    ///< accepting coverability node
   std::vector<int64_t> stem_labels; ///< tree path from a root to `node`
-  std::vector<int64_t> loop_labels; ///< closed walk through `node`
+  /// Closed walk through `node`. Every entry is a real transition
+  /// label: a drop cover-edge contributes the dropped transition's
+  /// label (the replay then continues from the coverer — same VASS
+  /// state, larger marking), and label-less retire cover-edges
+  /// contribute nothing.
+  std::vector<int64_t> loop_labels;
 };
 
 struct RepeatedReachabilityOptions {
@@ -37,9 +63,18 @@ struct RepeatedReachabilityOptions {
 
 /// Finds a lasso through a node whose VASS state satisfies
 /// `accepting`; nullopt if none exists (within the search bounds).
+/// If no lasso was found AND some closed-walk search was cut on its
+/// final deepening round — it ran out of its step budget, or a path
+/// was killed purely because the effect clamp could not track a dip
+/// past ±effect_bound — `*budget_exhausted` is set: the nullopt is
+/// then "not found within budget", not "none exists", and callers
+/// deciding a verdict must degrade it (the verifier folds this into
+/// RtStats::truncated → INCONCLUSIVE rather than silently reporting
+/// HOLDS).
 std::optional<LassoWitness> FindAcceptingLasso(
     const KarpMiller& graph, const std::function<bool(int)>& accepting,
-    const RepeatedReachabilityOptions& options = {});
+    const RepeatedReachabilityOptions& options = {},
+    bool* budget_exhausted = nullptr);
 
 }  // namespace has
 

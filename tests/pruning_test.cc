@@ -106,6 +106,8 @@ TEST(PrunedKarpMillerTest, DominationPrunesAndDeactivates) {
   EXPECT_EQ(pruned.pruned_successors(), 2u);
   // ...and the poor right opening was retired by the rich newcomer.
   EXPECT_EQ(pruned.deactivated_nodes(), 1u);
+  // Each prune point left a cover-edge: two drops plus one retirement.
+  EXPECT_EQ(pruned.cover_edges(), 3u);
   EXPECT_GE(full.num_nodes(), 2 * pruned.num_nodes());
 }
 
@@ -128,19 +130,38 @@ TEST(PrunedKarpMillerTest, NodesFormAnAntichainPerState) {
   }
 }
 
-TEST(PrunedKarpMillerTest, PrunedGraphIsASpanningForest) {
-  // Dropped successors leave no edges, so every pruned-graph edge is a
-  // tree edge — which is WHY lasso analysis must use the full graph.
+TEST(PrunedKarpMillerTest, RealEdgesFormAForestCoverEdgesCloseWalks) {
+  // Every surviving successor creates a NEW node, so the pruned
+  // graph's REAL edges are exactly its spanning forest; the closed-
+  // walk structure lasso analysis needs lives in the cover-edges
+  // recorded at the prune points (one per dropped successor, one per
+  // retired node).
   ExplicitVass v = PumpVass(3);
   KarpMillerOptions options;
   options.prune_coverability = true;
   KarpMiller g(&v, options);
   g.Build({0});
-  size_t roots = 0;
+  size_t roots = 0, real = 0, cover = 0;
   for (int n = 0; n < g.num_nodes(); ++n) {
     if (g.node_parent(n) == -1) ++roots;
+    for (const KarpMiller::Edge& e : g.edges(n)) {
+      if (e.cover) {
+        ++cover;
+        // Drop cover-edges keep the dropped transition's label; retire
+        // cover-edges are label-less with an empty delta.
+        if (e.label < 0) EXPECT_TRUE(e.delta.empty());
+      } else {
+        ++real;
+        // A real pruned edge always points at a strictly newer node.
+        EXPECT_GT(e.target, n);
+      }
+    }
   }
-  EXPECT_EQ(g.TotalEdges(), static_cast<size_t>(g.num_nodes()) - roots);
+  EXPECT_EQ(real, static_cast<size_t>(g.num_nodes()) - roots);
+  EXPECT_EQ(cover, g.cover_edges());
+  EXPECT_EQ(cover, g.pruned_successors() + g.deactivated_nodes());
+  EXPECT_EQ(g.TotalEdges(), real + cover);
+  EXPECT_GT(cover, 0u);
 }
 
 TEST(PrunedKarpMillerTest, ShardedPrunedBuildIsNodeIdentical) {
@@ -177,14 +198,18 @@ TEST(PrunedKarpMillerTest, ShardedPrunedBuildIsNodeIdentical) {
               << what << " " << n << " edge " << i;
           EXPECT_EQ(seq.edges(n)[i].label, par.edges(n)[i].label)
               << what << " " << n << " edge " << i;
+          EXPECT_EQ(seq.edges(n)[i].cover, par.edges(n)[i].cover)
+              << what << " " << n << " edge " << i;
         }
         EXPECT_EQ(seq.node_deactivated(n), par.node_deactivated(n))
             << what << " " << n;
       }
-      // Pruning counters are part of the determinism contract.
+      // Pruning counters are part of the determinism contract —
+      // cover-edges included (same targets, same interleaved order).
       EXPECT_EQ(seq.pruned_successors(), par.pruned_successors()) << what;
       EXPECT_EQ(seq.deactivated_nodes(), par.deactivated_nodes()) << what;
       EXPECT_EQ(seq.antichain_peak(), par.antichain_peak()) << what;
+      EXPECT_EQ(seq.cover_edges(), par.cover_edges()) << what;
     }
   }
 }
@@ -206,10 +231,13 @@ void ExpectPruningEquivalence(const ArtifactSystem& system,
     VerifyResult pruned = Verify(system, property, options);
     EXPECT_EQ(pruned.verdict, reference.verdict)
         << what << " shards=" << shards;
-    // Pruning may never EXPLORE more than the full build: its
-    // cov_nodes include any full-graph lasso fallbacks.
-    EXPECT_LE(pruned.stats.cov_nodes,
-              reference.stats.cov_nodes + reference.stats.cov_nodes)
+    // Lasso analysis runs on the pruned graph itself (cover-edges);
+    // the full-graph fallback is gone for good.
+    EXPECT_EQ(pruned.stats.full_graph_builds, 0u)
+        << what << " shards=" << shards;
+    // Without fallback rebuilds, pruning never explores more nodes
+    // than the full build.
+    EXPECT_LE(pruned.stats.cov_nodes, reference.stats.cov_nodes)
         << what << " shards=" << shards;
     if (shards == 1) {
       pruned_seq = pruned;
@@ -232,8 +260,7 @@ void ExpectPruningEquivalence(const ArtifactSystem& system,
         << what;
     EXPECT_EQ(pruned.stats.antichain_peak, pruned_seq.stats.antichain_peak)
         << what;
-    EXPECT_EQ(pruned.stats.full_graph_builds,
-              pruned_seq.stats.full_graph_builds)
+    EXPECT_EQ(pruned.stats.cover_edges, pruned_seq.stats.cover_edges)
         << what;
   }
 }

@@ -38,6 +38,8 @@ void ExpectSameGraph(const KarpMiller& a, const KarpMiller& b,
           << what << " node " << n << " edge " << i;
       EXPECT_EQ(ea[i].delta, eb[i].delta)
           << what << " node " << n << " edge " << i;
+      EXPECT_EQ(ea[i].cover, eb[i].cover)
+          << what << " node " << n << " edge " << i;
     }
   }
 }
