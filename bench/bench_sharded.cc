@@ -24,17 +24,32 @@ void RunVerification(benchmark::State& state, const Workload& w) {
   const int num_shards = static_cast<int>(state.range(0));
   size_t states = 0;
   bool violated = false;
+  has::RtStats stats;
   for (auto _ : state) {
     has::VerifierOptions options;
     options.num_shards = num_shards;
     has::VerifyResult result = has::Verify(w.system, w.property, options);
     violated = result.verdict == has::Verdict::kViolated;
     benchmark::DoNotOptimize(violated);
+    stats = result.stats;
     states += result.stats.cov_nodes + result.stats.product_states;
   }
   state.counters["states_per_sec"] = benchmark::Counter(
       static_cast<double>(states), benchmark::Counter::kIsRate);
   state.counters["shards"] = static_cast<double>(num_shards);
+  // Deterministic exploration counters: the sharded build is node-
+  // identical to the sequential one, so these must agree ACROSS shard
+  // counts as well as across hosts — scripts/check_bench_counters.py
+  // gates them per row, which catches sharded-determinism regressions
+  // in the Release CI job (not just in tests).
+  state.counters["cov_nodes"] = static_cast<double>(stats.cov_nodes);
+  state.counters["cov_edges"] = static_cast<double>(stats.cov_edges);
+  state.counters["product_states"] =
+      static_cast<double>(stats.product_states);
+  state.counters["pooled_types"] = static_cast<double>(stats.pooled_types);
+  state.counters["cover_edges"] = static_cast<double>(stats.cover_edges);
+  state.counters["full_graph_builds"] =
+      static_cast<double>(stats.full_graph_builds);
 }
 
 const Workload& Table1Workload() {

@@ -125,13 +125,13 @@ Workload ChainWorkload(DatabaseSchema schema, std::string name, int depth,
       store.name = "store";
       store.pre = all_non_null();
       store.post = Condition::True();
-      store.inserts = true;
+      store.MarkInsert();
       task.AddInternalService(std::move(store));
       InternalService load;
       load.name = "load";
       load.pre = Condition::True();
       load.post = all_non_null();
-      load.retrieves = true;
+      load.MarkRetrieve();
       task.AddInternalService(std::move(load));
     }
     prev = t;
@@ -189,6 +189,103 @@ Workload MakeMultiSet(int size, int depth, int set_width) {
                               depth),
                        depth, rels,
                        /*with_sets=*/true, set_width);
+}
+
+Workload MakeMultiRelation(int size, int depth, int num_rels) {
+  if (num_rels < 1) num_rels = 1;
+  if (size < num_rels) size = num_rels;
+  Workload w;
+  w.system.schema() = AcyclicSchema(size);
+  w.name = StrCat("multirel/k", num_rels, "/n", size, "/h", depth);
+
+  TaskId prev = kNoTask;
+  for (int level = 0; level < depth; ++level) {
+    TaskId t = w.system.AddTask(StrCat("T", level), prev);
+    Task& task = w.system.task(t);
+    int x = task.vars().AddVar("x", VarSort::kId);
+    int amount = task.vars().AddVar("amount", VarSort::kNumeric);
+    if (level > 0) {
+      task.AddInput(x, /*parent x=*/0);
+      task.AddOutput(/*parent amount=*/1, amount);
+      task.SetOpeningPre(Condition::Not(Condition::IsNull(0)));
+      LinearExpr close_e = LinearExpr::Var(amount);
+      close_e.AddConstant(Rational(-1));
+      task.SetClosingPre(
+          Condition::Arith(LinearConstraint{close_e, Relop::kEq}));
+    }
+    // The per-level work service drives the amount flag the hierarchy
+    // property watches.
+    {
+      InternalService work;
+      work.name = "work";
+      work.pre = Condition::True();
+      LinearExpr post_e = LinearExpr::Var(amount);
+      post_e.AddConstant(Rational(-1));
+      work.post = Condition::And(
+          Condition::Rel(0, {x, task.vars().AddVar("f0", VarSort::kId)}),
+          Condition::Arith(LinearConstraint{post_e, Relop::kEq}));
+      task.AddInternalService(std::move(work));
+    }
+    // One artifact relation A{j} per j, each over its own ID variable
+    // anchored in its own schema relation, with its own insert and
+    // retrieve service.
+    std::vector<int> svars;
+    for (int j = 0; j < num_rels; ++j) {
+      int sj = task.vars().AddVar(StrCat("s", j), VarSort::kId);
+      svars.push_back(sj);
+      int rel = task.AddSetRelation(StrCat("A", j), {sj});
+      // The tuples are deliberately NOT schema-anchored: the per-
+      // relation TS-type projections are then structurally identical
+      // across relations and normalize to the SAME pooled TypeId —
+      // exercising the (relation, TypeId) dimension keying that keeps
+      // the relations' counter groups apart.
+      InternalService store;
+      store.name = StrCat("store", j);
+      store.pre = Condition::Not(Condition::IsNull(sj));
+      store.post = Condition::True();
+      store.MarkInsert(rel);
+      task.AddInternalService(std::move(store));
+      InternalService load;
+      load.name = StrCat("load", j);
+      load.pre = Condition::True();
+      load.post = Condition::Not(Condition::IsNull(sj));
+      load.MarkRetrieve(rel);
+      task.AddInternalService(std::move(load));
+    }
+    // Cross-relation delta: ONE service moving a tuple from A0 to A1
+    // (-A0(s̄_A0) and +A1(s̄_A1) in the same δ) — the path single-
+    // relation workloads can never exercise.
+    if (num_rels >= 2) {
+      InternalService rotate;
+      rotate.name = "rotate";
+      rotate.pre = Condition::Not(Condition::IsNull(svars[1]));
+      rotate.post = Condition::Not(Condition::IsNull(svars[0]));
+      rotate.MarkRetrieve(0);
+      rotate.MarkInsert(1);
+      task.AddInternalService(std::move(rotate));
+    }
+    prev = t;
+  }
+
+  for (int level = 0; level < depth; ++level) {
+    HltlNode node;
+    node.task = level;
+    if (level < depth - 1) {
+      node.props.push_back(HltlProp::Child(level + 1));
+    } else {
+      LinearExpr e = LinearExpr::Var(1);  // amount
+      e.AddConstant(Rational(-1));
+      node.props.push_back(HltlProp::Cond(
+          Condition::Arith(LinearConstraint{std::move(e), Relop::kEq})));
+    }
+    LtlPtr body = LtlFormula::Eventually(LtlFormula::Prop(0));
+    if (level == 0) {
+      body = LtlFormula::Always(LtlFormula::Not(LtlFormula::Prop(0)));
+    }
+    node.skeleton = std::move(body);
+    w.property.AddNode(std::move(node));
+  }
+  return w;
 }
 
 Workload MakeWorkload(SchemaClass schema_class, int size, int depth,
@@ -271,13 +368,13 @@ Workload MakeWorkload(SchemaClass schema_class, int size, int depth,
       store.name = "store";
       store.pre = Condition::Not(Condition::IsNull(x));
       store.post = Condition::True();
-      store.inserts = true;
+      store.MarkInsert();
       task.AddInternalService(std::move(store));
       InternalService load;
       load.name = "load";
       load.pre = Condition::True();
       load.post = Condition::Not(Condition::IsNull(x));
-      load.retrieves = true;
+      load.MarkRetrieve();
       task.AddInternalService(std::move(load));
     }
     prev = t;

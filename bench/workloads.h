@@ -55,9 +55,19 @@ Workload MakeAdversarialCyclic(int size, int depth);
 /// wider TS-isomorphism types — more counter dimensions per product —
 /// and more set-insert/retrieve interleavings, which is what stresses
 /// the coverability layer's antichain pruning and counter machinery.
-/// (One artifact relation per task is a model invariant; width is the
-/// axis this family scales.)
+/// (Width is one axis; the NUMBER of relations is the other — see
+/// MakeMultiRelation.)
 Workload MakeMultiSet(int size, int depth, int set_width);
+
+/// Multi-relation family: every task declares `num_rels` artifact
+/// relations A0 … A{k-1} (the model's S_T,1 … S_T,k), each over its own
+/// ID variable with its own bind/store/load services, plus — from two
+/// relations up — a `rotate` service retrieving from A0 and inserting
+/// into A1 in ONE delta. Each relation contributes its own counter-
+/// dimension group to every product VASS, so this family scales the
+/// number of independent counter groups (where MakeMultiSet scales the
+/// width of a single group).
+Workload MakeMultiRelation(int size, int depth, int num_rels);
 
 }  // namespace bench
 }  // namespace has

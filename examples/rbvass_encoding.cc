@@ -63,13 +63,13 @@ has::ArtifactSystem BuildEncoding(int d) {
     inc.name = "sigma_plus";
     inc.pre = has::Condition::True();
     inc.post = has::Condition::Not(has::Condition::IsNull(x));
-    inc.inserts = true;
+    inc.MarkInsert();
     c.AddInternalService(std::move(inc));
     has::InternalService dec;
     dec.name = "sigma_minus";
     dec.pre = has::Condition::True();
     dec.post = has::Condition::True();
-    dec.retrieves = true;
+    dec.MarkRetrieve();
     c.AddInternalService(std::move(dec));
     c.SetOpeningPre(has::Condition::True());
     c.SetClosingPre(has::Condition::True());

@@ -34,6 +34,7 @@ GATED = [
     "product_states",
     "pooled_types",
     "cover_edges",
+    "counter_dims",
 ]
 # Counters that must be EXACTLY ZERO in every run: lasso analysis runs
 # on the pruned graph itself (via cover-edges), so a single full-graph
@@ -72,6 +73,22 @@ def main():
         help="allowed growth in percent (counters are deterministic, "
         "so the default is exact)",
     )
+    parser.add_argument(
+        "--allow-missing-rows",
+        action="store_true",
+        help="tolerate baselined benchmarks absent from the run (for "
+        "gating a --benchmark_filter subset, e.g. bench_sharded at "
+        "1/2/4 shards against a baseline that also has the 8-shard "
+        "rows)",
+    )
+    parser.add_argument(
+        "--exact",
+        action="store_true",
+        help="fail on ANY drift of a gated counter, shrinks included "
+        "(for determinism gates: the sharded rows must EQUAL the "
+        "baseline, so a regression that explores fewer nodes at some "
+        "shard count fails instead of reading as an improvement)",
+    )
     args = parser.parse_args()
 
     baseline = load(args.baseline)
@@ -85,11 +102,16 @@ def main():
     failures = []
     notes = []
 
+    compared = 0
     for name, base in sorted(baseline.items()):
         cur = run.get(name)
         if cur is None:
-            failures.append(f"{name}: present in baseline but not in run")
+            if args.allow_missing_rows:
+                notes.append(f"{name}: not in the (filtered) run, skipped")
+            else:
+                failures.append(f"{name}: present in baseline but not in run")
             continue
+        compared += 1
         for counter in GATED:
             if counter not in base:
                 continue
@@ -104,10 +126,17 @@ def main():
                     f"(+{(c - b) / b * 100.0 if b else float('inf'):.1f}%)"
                 )
             elif c < b:
-                notes.append(
-                    f"{name}: {counter} improved {b:.0f} -> {c:.0f} "
-                    "(update the baseline to lock it in)"
-                )
+                if args.exact:
+                    failures.append(
+                        f"{name}: {counter} drifted {b:.0f} -> {c:.0f} "
+                        "(--exact: determinism gate, shrink is a "
+                        "regression too)"
+                    )
+                else:
+                    notes.append(
+                        f"{name}: {counter} improved {b:.0f} -> {c:.0f} "
+                        "(update the baseline to lock it in)"
+                    )
         for counter in INFORMATIONAL:
             if counter in base and counter in cur:
                 b, c = float(base[counter]), float(cur[counter])
@@ -149,6 +178,10 @@ def main():
     for name in sorted(set(run) - set(baseline)):
         notes.append(f"{name}: no baseline yet (add it to the JSON)")
 
+    if compared == 0:
+        # A filter typo must not turn the gate into a silent no-op.
+        failures.append("no baselined benchmark matched the run")
+
     for n in notes:
         print(f"note: {n}")
     if failures:
@@ -156,7 +189,7 @@ def main():
         for f in failures:
             print(f"FAIL: {f}", file=sys.stderr)
         return 1
-    print(f"\nOK: {len(baseline)} benchmarks within counter baselines")
+    print(f"\nOK: {compared} benchmarks within counter baselines")
     return 0
 
 

@@ -44,10 +44,16 @@ class Barrier {
   size_t generation_ = 0;
 };
 
-/// Bounded multi-producer queue with non-blocking push/pop. Producers
-/// that find the queue full must make progress elsewhere (the sharded
-/// explorer drains its own inbound queue when a push fails, which
-/// bounds memory without risking producer/consumer deadlock).
+/// Bounded multi-producer queue with non-blocking push/pop plus
+/// condition-variable waits for both directions. Producers that find
+/// the queue full must make progress elsewhere (the sharded explorer
+/// drains its own inbound queue when a push fails, which bounds memory
+/// without risking producer/consumer deadlock) — and when there is no
+/// elsewhere, they park in WaitNotFull instead of busy-spinning;
+/// consumers waiting for traffic park in WaitNotEmpty. Nudge wakes
+/// every parked waiter without an item (used to publish out-of-band
+/// state changes like "all producers finished" that a waiter's exit
+/// condition also depends on).
 template <typename T>
 class BoundedQueue {
  public:
@@ -59,29 +65,83 @@ class BoundedQueue {
 
   /// False iff the queue is full (the item is left untouched).
   bool TryPush(T&& item) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (size_ == capacity_) return false;
-    ring_[(head_ + size_) % capacity_] = std::move(item);
-    ++size_;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (size_ == capacity_) return false;
+      ring_[(head_ + size_) % capacity_] = std::move(item);
+      ++size_;
+      ++epoch_;
+    }
+    not_empty_.notify_all();
     return true;
   }
 
   /// False iff the queue is empty.
   bool TryPop(T* out) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (size_ == 0) return false;
-    *out = std::move(ring_[head_]);
-    head_ = (head_ + 1) % capacity_;
-    --size_;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (size_ == 0) return false;
+      *out = std::move(ring_[head_]);
+      head_ = (head_ + 1) % capacity_;
+      --size_;
+    }
+    not_full_.notify_all();
     return true;
+  }
+
+  /// Blocks until the queue has free capacity (a subsequent TryPush may
+  /// still lose the race to another producer — re-check in a loop) or
+  /// until Nudge. Safe without an epoch: the not-full condition itself
+  /// is mutated under this mutex (TryPop) and re-checked by the wait
+  /// predicate, so a wakeup cannot be lost.
+  void WaitNotFull() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    size_t epoch = epoch_;
+    not_full_.wait(lock, [&] {
+      return size_ < capacity_ || epoch_ != epoch;
+    });
+  }
+
+  /// The queue's event epoch: bumped by every successful push and every
+  /// Nudge. A waiter whose exit condition ALSO depends on state outside
+  /// the queue (e.g. "all producers finished") must read the epoch
+  /// BEFORE checking that state, then pass it to WaitNotEmpty — the
+  /// wait returns immediately if any push/Nudge landed in between, so
+  /// the check→wait window cannot swallow the final wakeup.
+  size_t Epoch() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return epoch_;
+  }
+
+  /// Blocks until the queue is non-empty (a subsequent TryPop may still
+  /// lose the race to another consumer — re-check in a loop) or until
+  /// the epoch has moved past `observed_epoch` (see Epoch()).
+  void WaitNotEmpty(size_t observed_epoch) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] {
+      return size_ > 0 || epoch_ != observed_epoch;
+    });
+  }
+
+  /// Wakes every parked waiter (both directions) without an item.
+  void Nudge() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++epoch_;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
   }
 
  private:
   std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
   std::vector<T> ring_;
   size_t capacity_;
   size_t head_ = 0;
   size_t size_ = 0;
+  size_t epoch_ = 0;
 };
 
 }  // namespace has

@@ -48,7 +48,10 @@ TaskContext::TaskContext(const ArtifactSystem* system,
   nav_depth_ = ComputeNavDepth(*system, task, options);
   const Task& t = system->task(task);
   for (int v : t.InputVars()) input_vars_.insert(v);
-  for (int v : t.set_vars()) set_vars_.insert(v);
+  for (const SetRelation& rel : t.set_relations()) {
+    rel_vars_.emplace_back(rel.vars.begin(), rel.vars.end());
+    set_vars_.insert(rel.vars.begin(), rel.vars.end());
+  }
   CollectAtoms();
   if (basis_ != nullptr) {
     // Preserved polynomials: all of whose variables are numeric inputs.
@@ -101,7 +104,7 @@ void TaskContext::CollectAtoms() {
     (void)parent;
     add_null_check(own);
   }
-  for (int v : t.set_vars()) add_null_check(v);
+  for (int v : set_vars_) add_null_check(v);
   for (TaskId c : t.children()) {
     const Task& child = system_->task(c);
     for (const auto& [child_var, parent_var] : child.fin()) {
@@ -208,23 +211,26 @@ Truth TaskContext::EvalSym(const Condition& cond,
   return Truth::kUnknown;
 }
 
-PartialIsoType TaskContext::TsType(const PartialIsoType& iso) const {
+PartialIsoType TaskContext::TsType(const PartialIsoType& iso, int rel) const {
+  const std::set<int>& tuple = rel_vars_[static_cast<size_t>(rel)];
   std::set<int> keep = input_vars_;
-  keep.insert(set_vars_.begin(), set_vars_.end());
+  keep.insert(tuple.begin(), tuple.end());
   PartialIsoType proj = iso.Project(keep, nav_depth_);
   proj.Normalize();
   return proj;
 }
 
-std::string TaskContext::TsSignature(const PartialIsoType& iso) const {
-  return TsType(iso).Signature();
+std::string TaskContext::TsSignature(const PartialIsoType& iso,
+                                     int rel) const {
+  return TsType(iso, rel).Signature();
 }
 
-bool TaskContext::TsInputBound(const PartialIsoType& iso) const {
+bool TaskContext::TsInputBound(const PartialIsoType& iso, int rel) const {
+  const std::set<int>& tuple = rel_vars_[static_cast<size_t>(rel)];
   std::set<int> keep = input_vars_;
-  keep.insert(set_vars_.begin(), set_vars_.end());
+  keep.insert(tuple.begin(), tuple.end());
   PartialIsoType proj = iso.Project(keep, nav_depth_);
-  for (int v : set_vars_) {
+  for (int v : tuple) {
     // Locate the variable element in the projection.
     int elem = -1;
     for (int e = 0; e < proj.num_elements(); ++e) {
@@ -346,17 +352,30 @@ std::vector<InternalSuccessor> EnumerateInternal(const TaskContext& ctx,
       base.cell.set_sign(p, cur.cell.sign(p));
     }
   }
-  const bool insert_ib = svc.inserts && ctx.TsInputBound(cur.iso);
+  // Per-relation op skeleton (ascending relation index): the insert's
+  // input-bound bit depends only on the shared PRE-state, so it is
+  // computed once here; the retrieve's TS-type varies per successor.
+  std::vector<SetOpEffect> skeleton;
+  for (int rel = 0; rel < ctx.num_set_relations(); ++rel) {
+    const bool ins = svc.InsertsInto(rel);
+    const bool ret = svc.RetrievesFrom(rel);
+    if (!ins && !ret) continue;
+    SetOpEffect op;
+    op.relation = rel;
+    op.inserts = ins;
+    op.insert_input_bound = ins && ctx.TsInputBound(cur.iso, rel);
+    op.retrieves = ret;
+    skeleton.push_back(std::move(op));
+  }
   CompleteDecisions(
       ctx, base, svc.post, ctx.max_branches(), truncated,
       [&](SymbolicConfig&& next) {
         InternalSuccessor s;
-        s.inserts = svc.inserts;
-        s.insert_input_bound = insert_ib;
-        if (svc.retrieves) {
-          s.retrieves = true;
-          s.retrieve_ts = ctx.TsType(next.iso);
-          s.retrieve_input_bound = ctx.TsInputBound(next.iso);
+        s.set_ops = skeleton;
+        for (SetOpEffect& op : s.set_ops) {
+          if (!op.retrieves) continue;
+          op.retrieve_ts = ctx.TsType(next.iso, op.relation);
+          op.retrieve_input_bound = ctx.TsInputBound(next.iso, op.relation);
         }
         s.next = std::move(next);
         out.push_back(std::move(s));

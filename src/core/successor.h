@@ -91,7 +91,15 @@ class TaskContext {
 
   const std::vector<CondPtr>& eq_atoms() const { return eq_atoms_; }
   const std::set<int>& input_vars() const { return input_vars_; }
+  /// Union of every relation's tuple variables (null-check/atom
+  /// collection granularity).
   const std::set<int>& set_vars() const { return set_vars_; }
+  /// Number of artifact relations S_T,1 … S_T,k of this task.
+  int num_set_relations() const {
+    return static_cast<int>(rel_vars_.size());
+  }
+  /// Tuple variables s̄_T,rel of one relation.
+  const std::set<int>& rel_vars(int rel) const { return rel_vars_[rel]; }
   /// Basis polynomials over numeric input variables (preserved across
   /// internal transitions).
   const std::vector<int>& preserved_polys() const { return preserved_polys_; }
@@ -104,18 +112,19 @@ class TaskContext {
   /// Two-valued-when-decided evaluation over both components.
   Truth EvalSym(const Condition& cond, const SymbolicConfig& s) const;
 
-  /// Canonical TS-type: projection of the iso type onto x̄_in ∪ s̄_T
-  /// (Section 4.1), normalized. The product interns it into a counter
-  /// dimension id.
-  PartialIsoType TsType(const PartialIsoType& iso) const;
+  /// Canonical TS-type of relation `rel`: projection of the iso type
+  /// onto x̄_in ∪ s̄_T,rel (Section 4.1), normalized. The product
+  /// interns it into a counter dimension id in relation `rel`'s
+  /// dimension group.
+  PartialIsoType TsType(const PartialIsoType& iso, int rel = 0) const;
 
   /// String form of TsType — printing/debug only; the hot paths intern
   /// TsType through the TypePool instead.
-  std::string TsSignature(const PartialIsoType& iso) const;
+  std::string TsSignature(const PartialIsoType& iso, int rel = 0) const;
 
-  /// Input-bound test (Section 4.1): every non-null set variable is
-  /// forced equal to an input-anchored element.
-  bool TsInputBound(const PartialIsoType& iso) const;
+  /// Input-bound test for relation `rel` (Section 4.1): every non-null
+  /// variable of s̄_T,rel is forced equal to an input-anchored element.
+  bool TsInputBound(const PartialIsoType& iso, int rel = 0) const;
 
   /// Fresh task configuration at opening time: inputs constrained by
   /// `input` (already over this task's scope), all other ID variables
@@ -135,22 +144,31 @@ class TaskContext {
   std::vector<CondPtr> eq_atoms_;
   std::set<int> input_vars_;
   std::set<int> set_vars_;
+  std::vector<std::set<int>> rel_vars_;
   std::vector<int> preserved_polys_;
 };
 
-/// One successor of an internal service application.
-struct InternalSuccessor {
-  SymbolicConfig next;
-  /// Set-update bookkeeping. The retrieved tuple's canonical TS-type
-  /// (meaningful iff `retrieves`) varies per successor; the inserted
-  /// tuple's TS-type is the projection of the shared PRE-state, so the
-  /// product recomputes and interns it once per service application
-  /// (TaskContext::TsType) instead of carrying a copy here.
+/// Set-update bookkeeping of one successor on ONE artifact relation.
+/// The retrieved tuple's canonical TS-type (meaningful iff `retrieves`)
+/// varies per successor; the inserted tuple's TS-type is the per-
+/// relation projection of the shared PRE-state, so the product
+/// recomputes and interns it once per (service, relation) application
+/// (TaskContext::TsType) instead of carrying a copy here.
+struct SetOpEffect {
+  int relation = 0;
   bool inserts = false;
   bool insert_input_bound = false;
   bool retrieves = false;
   PartialIsoType retrieve_ts;
   bool retrieve_input_bound = false;
+};
+
+/// One successor of an internal service application.
+struct InternalSuccessor {
+  SymbolicConfig next;
+  /// One entry per relation the service updates, in ascending relation
+  /// index order; empty for services without set updates.
+  std::vector<SetOpEffect> set_ops;
 };
 
 /// Enumerates the symbolic successors of `cur` under internal service

@@ -62,21 +62,23 @@ int64_t TaskVass::InternRecord(TransitionRecord rec) {
   return label;
 }
 
-int TaskVass::DimOf(TypeId ts) {
-  auto it = dim_index_.find(ts);
+int TaskVass::DimOf(int relation, TypeId ts) {
+  uint64_t key = RelTypeKey(relation, ts);
+  auto it = dim_index_.find(key);
   if (it != dim_index_.end()) return it->second;
   int id = static_cast<int>(dim_types_.size());
-  dim_types_.push_back(ts);
-  dim_index_.emplace(ts, id);
+  dim_types_.emplace_back(relation, ts);
+  dim_index_.emplace(key, id);
   return id;
 }
 
-int TaskVass::IbIdOf(TypeId ts) {
-  auto it = ib_index_.find(ts);
+int TaskVass::IbIdOf(int relation, TypeId ts) {
+  uint64_t key = RelTypeKey(relation, ts);
+  auto it = ib_index_.find(key);
   if (it != ib_index_.end()) return it->second;
   int id = static_cast<int>(ib_types_.size());
-  ib_types_.push_back(ts);
-  ib_index_.emplace(ts, id);
+  ib_types_.emplace_back(relation, ts);
+  ib_index_.emplace(key, id);
   return id;
 }
 
@@ -216,48 +218,65 @@ std::unique_ptr<VassSystem::Prepared> TaskVass::PrepareSuccessors(
       std::vector<InternalSuccessor> succs =
           EnumerateInternal(*ctx_, cur, svc, &truncated);
       pending->truncated = pending->truncated || truncated;
-      // The inserted TS-type is the projection of the CURRENT state, so
-      // it is identical across every successor of this service: intern
-      // it once (the retrieved type varies per successor).
-      TypeId insert_ts = kNoTypeId;
-      if (svc.inserts && !succs.empty()) {
-        insert_ts = pool_->InternNormalized(ctx_->TsType(cur.iso));
+      // Each inserted TS-type is the per-relation projection of the
+      // CURRENT state, so it is identical across every successor of
+      // this service: intern once per relation (the retrieved types
+      // vary per successor).
+      std::map<int, TypeId> insert_ts;
+      if (!succs.empty()) {
+        for (int rel : svc.insert_rels) {
+          insert_ts[rel] =
+              pool_->InternNormalized(ctx_->TsType(cur.iso, rel));
+        }
       }
       for (InternalSuccessor& s : succs) {
-        TypeId retrieve_ts = kNoTypeId;
-        if (s.retrieves) {
-          retrieve_ts = pool_->InternNormalized(std::move(s.retrieve_ts));
-          if (s.retrieve_input_bound) {
-            // Read-only feasibility precheck (ib-bit ALLOCATION stays
-            // in the commit): the retrieve can only succeed when the
-            // bit is already in the state's set, or when this same
-            // transition inserts the identical TS type. Skipping here
-            // saves the letter/interning/Büchi work for successors the
-            // commit would drop anyway. ib_index_ is only mutated by
-            // commits, which never overlap prepares.
-            auto it = ib_index_.find(retrieve_ts);
-            bool in_set =
-                it != ib_index_.end() &&
-                std::find(snapshot.ib_bits.begin(), snapshot.ib_bits.end(),
-                          it->second) != snapshot.ib_bits.end();
-            bool inserted_same = s.inserts && s.insert_input_bound &&
-                                 insert_ts == retrieve_ts;
-            if (!in_set && !inserted_same) continue;
+        std::vector<PendingEdge::PendingSetOp> ops;
+        ops.reserve(s.set_ops.size());
+        bool feasible = true;
+        for (SetOpEffect& eff : s.set_ops) {
+          PendingEdge::PendingSetOp op;
+          op.relation = eff.relation;
+          op.inserts = eff.inserts;
+          op.insert_input_bound = eff.insert_input_bound;
+          if (eff.inserts) op.insert_ts = insert_ts[eff.relation];
+          if (eff.retrieves) {
+            op.retrieves = true;
+            op.retrieve_input_bound = eff.retrieve_input_bound;
+            op.retrieve_ts =
+                pool_->InternNormalized(std::move(eff.retrieve_ts));
+            if (eff.retrieve_input_bound) {
+              // Read-only feasibility precheck (ib-bit ALLOCATION stays
+              // in the commit): the retrieve can only succeed when the
+              // (relation, type) bit is already in the state's set, or
+              // when this same transition inserts the identical TS type
+              // into the same relation. Skipping here saves the
+              // letter/interning/Büchi work for successors the commit
+              // would drop anyway. ib_index_ is only mutated by
+              // commits, which never overlap prepares.
+              auto it =
+                  ib_index_.find(RelTypeKey(eff.relation, op.retrieve_ts));
+              bool in_set =
+                  it != ib_index_.end() &&
+                  std::find(snapshot.ib_bits.begin(),
+                            snapshot.ib_bits.end(),
+                            it->second) != snapshot.ib_bits.end();
+              bool inserted_same = eff.inserts && eff.insert_input_bound &&
+                                   op.insert_ts == op.retrieve_ts;
+              if (!in_set && !inserted_same) {
+                feasible = false;
+                break;
+              }
+            }
           }
+          ops.push_back(std::move(op));
         }
+        if (!feasible) continue;
         PendingEdge* pe = EmitPending(
             snapshot, s.next,
             ServiceRef::Internal(ctx_->task_id(), static_cast<int>(i)),
             kNoTask, 0, svc.name, pending.get());
         pe->fresh_stages = true;
-        pe->inserts = s.inserts;
-        pe->insert_input_bound = s.insert_input_bound;
-        pe->insert_ts = insert_ts;
-        if (s.retrieves) {
-          pe->retrieves = true;
-          pe->retrieve_input_bound = s.retrieve_input_bound;
-          pe->retrieve_ts = retrieve_ts;
-        }
+        pe->set_ops = std::move(ops);
       }
     }
   }
@@ -343,33 +362,36 @@ void TaskVass::CommitSuccessors(int state, std::unique_ptr<Prepared> prepared,
   const Task& task = ctx_->task();
   for (PendingEdge& pe : pending->edges) {
     // Resolve artifact-relation bookkeeping to counter dimensions / ib
-    // bits. Allocation order (inserts before retrieves, pending-edge
-    // order across successors) matches the historical enumeration, so
+    // bits. Allocation order (ascending relation index per edge,
+    // inserts before retrieves within a relation, pending-edge order
+    // across successors) matches the sequential enumeration, so
     // dimension numbering is reproducible.
     Delta delta;
     std::vector<int> ib = snapshot.ib_bits;
     bool feasible = true;
-    if (pe.inserts) {
-      if (pe.insert_input_bound) {
-        int id = IbIdOf(pe.insert_ts);
-        if (std::find(ib.begin(), ib.end(), id) == ib.end()) {
-          ib.push_back(id);
-        }
-      } else {
-        delta.emplace_back(DimOf(pe.insert_ts), 1);
-      }
-    }
-    if (pe.retrieves) {
-      if (pe.retrieve_input_bound) {
-        int id = IbIdOf(pe.retrieve_ts);
-        auto it = std::find(ib.begin(), ib.end(), id);
-        if (it == ib.end()) {
-          feasible = false;  // nothing of this type in the set
+    for (const PendingEdge::PendingSetOp& op : pe.set_ops) {
+      if (op.inserts) {
+        if (op.insert_input_bound) {
+          int id = IbIdOf(op.relation, op.insert_ts);
+          if (std::find(ib.begin(), ib.end(), id) == ib.end()) {
+            ib.push_back(id);
+          }
         } else {
-          ib.erase(it);
+          delta.emplace_back(DimOf(op.relation, op.insert_ts), 1);
         }
-      } else {
-        delta.emplace_back(DimOf(pe.retrieve_ts), -1);
+      }
+      if (op.retrieves) {
+        if (op.retrieve_input_bound) {
+          int id = IbIdOf(op.relation, op.retrieve_ts);
+          auto it = std::find(ib.begin(), ib.end(), id);
+          if (it == ib.end()) {
+            feasible = false;  // nothing of this type in the relation
+            break;
+          }
+          ib.erase(it);
+        } else {
+          delta.emplace_back(DimOf(op.relation, op.retrieve_ts), -1);
+        }
       }
     }
     if (!feasible) continue;

@@ -13,6 +13,7 @@
 #ifndef HAS_CORE_TASK_VASS_H_
 #define HAS_CORE_TASK_VASS_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -192,7 +193,9 @@ class TaskVass : public VassSystem {
 
   /// Whether any successor enumeration hit the branch budget.
   bool truncated() const { return truncated_; }
-  /// Counter dimensions allocated so far (TS types).
+  /// Counter dimensions allocated so far: one per discovered
+  /// (artifact relation, TS-type) pair — each relation owns its own
+  /// dimension group, interleaved by discovery order.
   int num_dimensions() const { return static_cast<int>(dim_types_.size()); }
   size_t num_outcomes() const { return outcomes_.size(); }
   const ChildOutcome& outcome(int i) const { return outcomes_[i]; }
@@ -284,10 +287,20 @@ class TaskVass : public VassSystem {
   int InternState(State s);
   /// Label of the transition record (allocating on first sight).
   int64_t InternRecord(TransitionRecord rec);
-  /// Counter dimension of a TS-type (allocating on first sight).
-  int DimOf(TypeId ts);
-  /// Input-bound bit id of a TS-type (allocating on first sight).
-  int IbIdOf(TypeId ts);
+  /// A (relation, TS-type) key: the SAME normalized projection arising
+  /// for two different relations must map to two different counter
+  /// dimensions / ib bits — tuples of S_T,i and S_T,j are never
+  /// interchangeable.
+  static uint64_t RelTypeKey(int relation, TypeId ts) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(relation)) << 32) |
+           static_cast<uint32_t>(ts);
+  }
+  /// Counter dimension of a (relation, TS-type) (allocating on first
+  /// sight).
+  int DimOf(int relation, TypeId ts);
+  /// Input-bound bit id of a (relation, TS-type) (allocating on first
+  /// sight).
+  int IbIdOf(int relation, TypeId ts);
   int InternOutcome(ChildOutcome outcome);
 
   /// Letter of a configuration for the Büchi product.
@@ -306,14 +319,19 @@ class TaskVass : public VassSystem {
     ServiceRef service;
     Assignment child_beta = 0;
     std::vector<int> q2s;  ///< compatible Büchi successors of from.q
-    /// Artifact-relation bookkeeping ((A) transitions), resolved to
-    /// counter dimensions / ib bits at commit time.
-    bool inserts = false;
-    bool insert_input_bound = false;
-    TypeId insert_ts = kNoTypeId;
-    bool retrieves = false;
-    bool retrieve_input_bound = false;
-    TypeId retrieve_ts = kNoTypeId;
+    /// Artifact-relation bookkeeping ((A) transitions), one entry per
+    /// relation the service updates (ascending relation index),
+    /// resolved to counter dimensions / ib bits at commit time.
+    struct PendingSetOp {
+      int relation = 0;
+      bool inserts = false;
+      bool insert_input_bound = false;
+      TypeId insert_ts = kNoTypeId;
+      bool retrieves = false;
+      bool retrieve_input_bound = false;
+      TypeId retrieve_ts = kNoTypeId;
+    };
+    std::vector<PendingSetOp> set_ops;
     /// Child-stage rewrite: (A) resets all stages, (B)/(C) rewrite one
     /// child's stage; a kActive outcome is interned at commit from
     /// `outcome_src` (a pointer into the oracle's immutable result).
@@ -368,10 +386,11 @@ class TaskVass : public VassSystem {
 
   std::vector<State> states_;
   std::unordered_set<int, StateIndexHash, StateIndexEq> state_index_;
-  std::vector<TypeId> dim_types_;
-  std::unordered_map<TypeId, int> dim_index_;
-  std::vector<TypeId> ib_types_;
-  std::unordered_map<TypeId, int> ib_index_;
+  /// Dimension / ib-bit registries, keyed by RelTypeKey(relation, ts).
+  std::vector<std::pair<int, TypeId>> dim_types_;
+  std::unordered_map<uint64_t, int> dim_index_;
+  std::vector<std::pair<int, TypeId>> ib_types_;
+  std::unordered_map<uint64_t, int> ib_index_;
   std::vector<ChildOutcome> outcomes_;
   std::unordered_map<OutcomeKey, int, OutcomeKeyHash> outcome_index_;
   std::vector<TransitionRecord> records_;

@@ -112,16 +112,23 @@ std::string ArtifactSystem::ToString() const {
                                                                  : ":num"));
     }
     out += StrCat("  vars: ", StrJoin(vars, ", "), "\n");
-    if (t.has_set()) {
+    for (const SetRelation& rel : t.set_relations()) {
       std::vector<std::string> sv;
-      for (int v : t.set_vars()) sv.push_back(t.vars().var(v).name);
-      out += StrCat("  set S(", StrJoin(sv, ", "), ")\n");
+      for (int v : rel.vars) sv.push_back(t.vars().var(v).name);
+      out += StrCat("  set ", rel.name, "(", StrJoin(sv, ", "), ")\n");
     }
     for (const InternalService& s : t.services()) {
+      auto rel_name = [&t](int r) {
+        return r >= 0 && r < t.num_set_relations()
+                   ? t.set_relations()[r].name
+                   : StrCat("?rel", r);
+      };
+      std::string updates;
+      for (int r : s.insert_rels) updates += StrCat(" +", rel_name(r));
+      for (int r : s.retrieve_rels) updates += StrCat(" -", rel_name(r));
       out += StrCat("  service ", s.name, ": pre ",
                     s.pre->ToString(t.vars(), &schema_), " post ",
-                    s.post->ToString(t.vars(), &schema_),
-                    s.inserts ? " +S" : "", s.retrieves ? " -S" : "", "\n");
+                    s.post->ToString(t.vars(), &schema_), updates, "\n");
     }
   }
   return out;

@@ -1,10 +1,14 @@
-// Task schemas (Definitions 2-3). A task owns a scope of artifact
-// variables, an optional artifact relation S_T over a tuple s̄_T of
-// distinct ID variables, declared input variables x̄_in, its services,
-// and the opening/closing machinery connecting it to its parent.
+// Task schemas (Definitions 2-3), generalized to a FAMILY of artifact
+// relations per task. A task owns a scope of artifact variables, a list
+// of named artifact relations S_T,1 … S_T,k — each over its own tuple
+// s̄_T,i of distinct ID variables — declared input variables x̄_in, its
+// services, and the opening/closing machinery connecting it to its
+// parent. The paper's single S_T is the k = 1 special case (relation
+// name "S", see DeclareSet).
 #ifndef HAS_MODEL_TASK_H_
 #define HAS_MODEL_TASK_H_
 
+#include <algorithm>
 #include <string>
 #include <utility>
 #include <vector>
@@ -16,16 +20,47 @@ namespace has {
 using TaskId = int;
 inline constexpr TaskId kNoTask = -1;
 
+/// One artifact relation S_T,i of a task: a (task-unique) name and the
+/// tuple s̄_T,i of distinct ID variables whose values it stores.
+struct SetRelation {
+  std::string name;
+  std::vector<int> vars;
+};
+
+/// Default name of the artifact relation declared through the
+/// single-relation sugar (`set (x̄);` in specs, Task::DeclareSet in
+/// code); the paper's S_T.
+inline constexpr char kDefaultSetName[] = "S";
+
 /// An internal service σ = (π, ψ, δ) of a task (Definition 5). The
 /// pre-condition is evaluated on the current artifact tuple, the
-/// post-condition on the next one; δ inserts and/or retrieves the s̄_T
-/// tuple from the artifact relation.
+/// post-condition on the next one; δ is a set of per-relation updates
+/// {+S_T,i(s̄_T,i), -S_T,j(s̄_T,j), ...} identified by relation index.
 struct InternalService {
   std::string name;
   CondPtr pre;
   CondPtr post;
-  bool inserts = false;   ///< +S_T(s̄_T) ∈ δ
-  bool retrieves = false; ///< -S_T(s̄_T) ∈ δ
+  std::vector<int> insert_rels;   ///< relations i with +S_T,i(s̄_T,i) ∈ δ
+  std::vector<int> retrieve_rels; ///< relations i with -S_T,i(s̄_T,i) ∈ δ
+
+  bool InsertsInto(int rel) const {
+    return std::find(insert_rels.begin(), insert_rels.end(), rel) !=
+           insert_rels.end();
+  }
+  bool RetrievesFrom(int rel) const {
+    return std::find(retrieve_rels.begin(), retrieve_rels.end(), rel) !=
+           retrieve_rels.end();
+  }
+  bool HasSetOps() const {
+    return !insert_rels.empty() || !retrieve_rels.empty();
+  }
+  /// Single-relation sugar: +S_T(s̄_T) / -S_T(s̄_T) on relation 0.
+  void MarkInsert(int rel = 0) {
+    if (!InsertsInto(rel)) insert_rels.push_back(rel);
+  }
+  void MarkRetrieve(int rel = 0) {
+    if (!RetrievesFrom(rel)) retrieve_rels.push_back(rel);
+  }
 };
 
 /// A task schema plus its interaction contract with the parent.
@@ -49,14 +84,46 @@ class Task {
   VarScope& vars() { return vars_; }
   const VarScope& vars() const { return vars_; }
 
-  // --- artifact relation -------------------------------------------------
-  /// Declares the artifact relation with tuple s̄_T (distinct ID vars).
-  void DeclareSet(std::vector<int> set_vars) {
-    has_set_ = true;
-    set_vars_ = std::move(set_vars);
+  // --- artifact relations -------------------------------------------------
+  /// Declares artifact relation S_T,i = `name` over tuple `vars`
+  /// (distinct ID vars); returns its index i. Re-declaring an existing
+  /// name replaces that relation's tuple in place (the per-relation
+  /// analogue of restriction 7's fixed tuple).
+  int AddSetRelation(std::string name, std::vector<int> vars) {
+    for (size_t i = 0; i < set_relations_.size(); ++i) {
+      if (set_relations_[i].name == name) {
+        set_relations_[i].vars = std::move(vars);
+        return static_cast<int>(i);
+      }
+    }
+    set_relations_.push_back(SetRelation{std::move(name), std::move(vars)});
+    return static_cast<int>(set_relations_.size() - 1);
   }
-  bool has_set() const { return has_set_; }
-  const std::vector<int>& set_vars() const { return set_vars_; }
+  /// Single-relation sugar (the paper's one S_T): declares/replaces the
+  /// relation named kDefaultSetName.
+  void DeclareSet(std::vector<int> set_vars) {
+    AddSetRelation(kDefaultSetName, std::move(set_vars));
+  }
+  const std::vector<SetRelation>& set_relations() const {
+    return set_relations_;
+  }
+  int num_set_relations() const {
+    return static_cast<int>(set_relations_.size());
+  }
+  /// Index of the relation named `name`; -1 if absent.
+  int FindSetRelation(const std::string& name) const {
+    for (size_t i = 0; i < set_relations_.size(); ++i) {
+      if (set_relations_[i].name == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+  bool has_set() const { return !set_relations_.empty(); }
+  /// Tuple of the FIRST artifact relation (single-relation sugar; empty
+  /// when the task has none).
+  const std::vector<int>& set_vars() const {
+    static const std::vector<int> kEmpty;
+    return set_relations_.empty() ? kEmpty : set_relations_[0].vars;
+  }
 
   // --- input / return wiring ---------------------------------------------
   /// f_in pairs (child_var, parent_var); dom(f_in) = x̄_in of this task.
@@ -87,6 +154,7 @@ class Task {
   }
   const std::vector<InternalService>& services() const { return services_; }
   const InternalService& service(int i) const { return services_[i]; }
+  InternalService& mutable_service(int i) { return services_[i]; }
 
   /// Opening pre-condition π of σ^o_T, a condition over the PARENT's
   /// variable scope (Definition 6(i)). True for the root.
@@ -104,8 +172,7 @@ class Task {
   TaskId parent_;
   std::vector<TaskId> children_;
   VarScope vars_;
-  bool has_set_ = false;
-  std::vector<int> set_vars_;
+  std::vector<SetRelation> set_relations_;
   std::vector<std::pair<int, int>> fin_;
   std::vector<std::pair<int, int>> fout_;
   std::vector<InternalService> services_;

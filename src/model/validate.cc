@@ -15,29 +15,41 @@ void CheckTask(const ArtifactSystem& system, const Task& t,
   };
   const DatabaseSchema& schema = system.schema();
 
-  // Artifact relation: distinct ID variables (Definition 2 requires the
-  // set tuple s̄_T to consist of distinct ID variables of the task).
-  if (t.has_set()) {
-    std::set<int> seen;
-    for (int v : t.set_vars()) {
-      if (v < 0 || v >= t.vars().size()) {
-        error(StrCat("set variable index ", v, " out of scope"));
-        continue;
+  // Artifact relations S_T,1 … S_T,k: per relation, a distinct name,
+  // arity ≥ 1, and a tuple of distinct ID variables of the task
+  // (Definition 2 requires each s̄_T,i to consist of distinct ID vars;
+  // the per-relation fixed tuple is restriction 7's analogue).
+  {
+    std::set<std::string> names;
+    for (const SetRelation& rel : t.set_relations()) {
+      if (!names.insert(rel.name).second) {
+        error(StrCat("duplicate artifact relation name ", rel.name));
       }
-      if (!seen.insert(v).second) {
-        error(StrCat("duplicate set variable ", t.vars().var(v).name));
+      std::set<int> seen;
+      for (int v : rel.vars) {
+        if (v < 0 || v >= t.vars().size()) {
+          error(StrCat("relation ", rel.name, ": set variable index ", v,
+                       " out of scope"));
+          continue;
+        }
+        if (!seen.insert(v).second) {
+          error(StrCat("relation ", rel.name, ": duplicate set variable ",
+                       t.vars().var(v).name));
+        }
+        if (t.vars().var(v).sort != VarSort::kId) {
+          error(StrCat("relation ", rel.name, ": set variable ",
+                       t.vars().var(v).name, " must be an ID variable"));
+        }
       }
-      if (t.vars().var(v).sort != VarSort::kId) {
-        error(StrCat("set variable ", t.vars().var(v).name,
-                     " must be an ID variable"));
+      if (rel.vars.empty()) {
+        error(StrCat("artifact relation ", rel.name, " of arity 0"));
       }
     }
-    if (t.set_vars().empty()) error("artifact relation of arity 0");
   }
 
-  // Internal services: conditions over the task's scope; set updates
-  // require a declared artifact relation (restrictions 5/7 hold by
-  // construction: one relation, fixed tuple).
+  // Internal services: conditions over the task's scope; every set
+  // update must target a declared relation (the generalized form of
+  // restriction 5), at most once per relation.
   for (const InternalService& s : t.services()) {
     Status pre = s.pre->CheckWellFormed(t.vars(), schema);
     if (!pre.ok()) error(StrCat("service ", s.name, " pre: ", pre.message()));
@@ -45,10 +57,21 @@ void CheckTask(const ArtifactSystem& system, const Task& t,
     if (!post.ok()) {
       error(StrCat("service ", s.name, " post: ", post.message()));
     }
-    if ((s.inserts || s.retrieves) && !t.has_set()) {
-      error(StrCat("service ", s.name,
-                   " updates an artifact relation the task does not have"));
-    }
+    auto check_targets = [&](const std::vector<int>& rels,
+                             const char* verb) {
+      std::set<int> seen;
+      for (int r : rels) {
+        if (r < 0 || r >= t.num_set_relations()) {
+          error(StrCat("service ", s.name, " ", verb,
+                       "s an artifact relation the task does not declare"));
+        } else if (!seen.insert(r).second) {
+          error(StrCat("service ", s.name, " ", verb, "s relation ",
+                       t.set_relations()[r].name, " twice"));
+        }
+      }
+    };
+    check_targets(s.insert_rels, "insert");
+    check_targets(s.retrieve_rels, "retrieve");
   }
 
   // Input mapping f_in: partial 1-1, sort-preserving.

@@ -17,12 +17,25 @@ Valuation OpeningValuation(const Task& task, const Valuation& input) {
   return nu;
 }
 
+std::vector<Value> SetTupleOf(const Task& task, int rel,
+                              const Valuation& nu) {
+  std::vector<Value> t;
+  for (int v : task.set_relations()[rel].vars) t.push_back(nu[v]);
+  return t;
+}
+
+const SetContents& RelationContents(const TaskSets& sets, int rel) {
+  static const SetContents kEmpty;
+  return rel >= 0 && rel < static_cast<int>(sets.size()) ? sets[rel]
+                                                         : kEmpty;
+}
+
 Status CheckInternalTransition(const DatabaseInstance& db, const Task& task,
                                const InternalService& svc,
                                const Valuation& nu_before,
-                               const SetContents& set_before,
+                               const TaskSets& sets_before,
                                const Valuation& nu_after,
-                               const SetContents& set_after) {
+                               const TaskSets& sets_after) {
   if (!EvalCondition(*svc.pre, db, nu_before)) {
     return Status::FailedPrecondition(
         StrCat("pre-condition of ", svc.name, " does not hold"));
@@ -39,33 +52,36 @@ Status CheckInternalTransition(const DatabaseInstance& db, const Task& task,
                  " changed across an internal transition"));
     }
   }
-  // Set-update semantics (Definition 8).
-  auto tuple_of = [&](const Valuation& nu) {
-    std::vector<Value> t;
-    for (int v : task.set_vars()) t.push_back(nu[v]);
-    return t;
-  };
-  SetContents expected = set_before;
-  if (svc.inserts && svc.retrieves) {
-    std::vector<Value> inserted = tuple_of(nu_before);
-    std::vector<Value> retrieved = tuple_of(nu_after);
-    expected.insert(inserted);
-    if (expected.count(retrieved) == 0) {
+  // Per-relation set-update semantics (Definition 8, applied to each
+  // S_T,rel independently): the inserted tuple is s̄_T,rel under the
+  // PRE-valuation, the retrieved tuple is s̄_T,rel under the POST-
+  // valuation and must come from S_rel ∪ {inserted}.
+  for (int rel = 0; rel < task.num_set_relations(); ++rel) {
+    const std::string& rel_name = task.set_relations()[rel].name;
+    SetContents expected = RelationContents(sets_before, rel);
+    const bool inserts = svc.InsertsInto(rel);
+    const bool retrieves = svc.RetrievesFrom(rel);
+    if (inserts) expected.insert(SetTupleOf(task, rel, nu_before));
+    if (retrieves) {
+      std::vector<Value> retrieved = SetTupleOf(task, rel, nu_after);
+      if (expected.count(retrieved) == 0) {
+        return Status::FailedPrecondition(
+            StrCat("retrieved tuple not present in ", rel_name,
+                   inserts ? " ∪ {inserted}" : ""));
+      }
+      expected.erase(retrieved);
+    }
+    if (expected != RelationContents(sets_after, rel)) {
       return Status::FailedPrecondition(
-          "retrieved tuple not present in S ∪ {inserted}");
+          StrCat("artifact relation ", rel_name, " mismatch"));
     }
-    expected.erase(retrieved);
-  } else if (svc.inserts) {
-    expected.insert(tuple_of(nu_before));
-  } else if (svc.retrieves) {
-    std::vector<Value> retrieved = tuple_of(nu_after);
-    if (expected.count(retrieved) == 0) {
-      return Status::FailedPrecondition("retrieved tuple not present in S");
-    }
-    expected.erase(retrieved);
   }
-  if (expected != set_after) {
-    return Status::FailedPrecondition("artifact relation mismatch");
+  for (size_t i = static_cast<size_t>(task.num_set_relations());
+       i < sets_after.size(); ++i) {
+    if (!sets_after[i].empty()) {
+      return Status::FailedPrecondition(
+          "artifact-relation contents beyond the task's declared family");
+    }
   }
   return Status::Ok();
 }

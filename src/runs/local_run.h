@@ -1,7 +1,7 @@
 // Concrete operational semantics (Definitions 8-9): local runs of a
 // task over a fixed database instance. A local run records, per step,
 // the observed service, the artifact-variable valuation and the
-// artifact-relation contents after the step.
+// contents of every artifact relation S_T,1 … S_T,k after the step.
 #ifndef HAS_RUNS_LOCAL_RUN_H_
 #define HAS_RUNS_LOCAL_RUN_H_
 
@@ -15,13 +15,17 @@
 
 namespace has {
 
-/// Contents of an artifact relation: a set of ID tuples.
+/// Contents of one artifact relation: a set of ID tuples.
 using SetContents = std::set<std::vector<Value>>;
+/// Contents of every artifact relation of a task, indexed by relation.
+/// Shorter-than-k vectors are treated as padded with empty relations
+/// (so `{}` denotes "all relations empty" regardless of k).
+using TaskSets = std::vector<SetContents>;
 
 struct RunStep {
   ServiceRef service;
   Valuation nu;         ///< valuation after the step
-  SetContents set;      ///< artifact relation after the step
+  TaskSets sets;        ///< artifact relations after the step
   /// For opening steps: index of the child's local run in the tree.
   int child_run = -1;
 };
@@ -38,14 +42,24 @@ struct LocalRun {
 /// other ID variables null, numeric variables 0.
 Valuation OpeningValuation(const Task& task, const Valuation& input);
 
+/// The tuple s̄_T,rel read off a valuation.
+std::vector<Value> SetTupleOf(const Task& task, int rel,
+                              const Valuation& nu);
+
+/// One relation of a TaskSets, tolerating short vectors (absent
+/// relations are empty).
+const SetContents& RelationContents(const TaskSets& sets, int rel);
+
 /// Checks a single local transition I --σ--> I' (Definition 8) for an
-/// internal service. Returns an explanatory error if invalid.
+/// internal service, applying the per-relation insert/retrieve
+/// semantics of δ to every declared artifact relation. Returns an
+/// explanatory error if invalid.
 Status CheckInternalTransition(const DatabaseInstance& db, const Task& task,
                                const InternalService& svc,
                                const Valuation& nu_before,
-                               const SetContents& set_before,
+                               const TaskSets& sets_before,
                                const Valuation& nu_after,
-                               const SetContents& set_after);
+                               const TaskSets& sets_after);
 
 }  // namespace has
 

@@ -8,6 +8,15 @@ namespace has {
 
 namespace {
 
+/// Per-relation equality over the task's declared family, tolerating
+/// short (padded-with-empty) vectors on either side.
+bool SameSets(const Task& task, const TaskSets& a, const TaskSets& b) {
+  for (int rel = 0; rel < task.num_set_relations(); ++rel) {
+    if (RelationContents(a, rel) != RelationContents(b, rel)) return false;
+  }
+  return true;
+}
+
 Status CheckLocalRun(const ArtifactSystem& system, const DatabaseInstance& db,
                      const RunTree& tree, int run_index) {
   const LocalRun& run = tree.runs[run_index];
@@ -22,8 +31,11 @@ Status CheckLocalRun(const ArtifactSystem& system, const DatabaseInstance& db,
   if (run.steps[0].nu != expected0) {
     return Status::FailedPrecondition("bad opening valuation");
   }
-  if (!run.steps[0].set.empty()) {
-    return Status::FailedPrecondition("artifact relation must start empty");
+  for (const SetContents& rel : run.steps[0].sets) {
+    if (!rel.empty()) {
+      return Status::FailedPrecondition(
+          "artifact relations must start empty");
+    }
   }
 
   std::set<TaskId> opened_in_segment;
@@ -42,8 +54,8 @@ Status CheckLocalRun(const ArtifactSystem& system, const DatabaseInstance& db,
               "internal service with active subtasks (restriction 4)");
         }
         HAS_RETURN_IF_ERROR(CheckInternalTransition(
-            db, task, task.service(s.index), prev.nu, prev.set, step.nu,
-            step.set));
+            db, task, task.service(s.index), prev.nu, prev.sets, step.nu,
+            step.sets));
         opened_in_segment.clear();
         break;
       }
@@ -63,7 +75,7 @@ Status CheckLocalRun(const ArtifactSystem& system, const DatabaseInstance& db,
         if (!EvalCondition(*child.opening_pre(), db, prev.nu)) {
           return Status::FailedPrecondition("child opening pre fails");
         }
-        if (step.nu != prev.nu || step.set != prev.set) {
+        if (step.nu != prev.nu || !SameSets(task, prev.sets, step.sets)) {
           return Status::FailedPrecondition(
               "opening must not change local data");
         }
@@ -134,8 +146,8 @@ Status CheckLocalRun(const ArtifactSystem& system, const DatabaseInstance& db,
         if (step.nu != expected) {
           return Status::FailedPrecondition("return passing mismatch");
         }
-        if (step.set != prev.set) {
-          return Status::FailedPrecondition("closing changed the set");
+        if (!SameSets(task, prev.sets, step.sets)) {
+          return Status::FailedPrecondition("closing changed the sets");
         }
         break;
       }

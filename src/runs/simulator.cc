@@ -99,8 +99,8 @@ class Simulator {
     run.task = task_id;
     run.input = input;
     Valuation nu = OpeningValuation(task, input);
-    SetContents set;
-    run.steps.push_back(RunStep{ServiceRef::Opening(task_id), nu, set, -1});
+    TaskSets sets(static_cast<size_t>(task.num_set_relations()));
+    run.steps.push_back(RunStep{ServiceRef::Opening(task_id), nu, sets, -1});
 
     std::set<TaskId> opened_in_segment;
     for (int step = 0; step < options_.max_steps_per_run; ++step) {
@@ -132,13 +132,13 @@ class Simulator {
       switch (move.kind) {
         case Move::Kind::kInternal: {
           const InternalService& svc = task.service(move.index);
-          std::optional<std::pair<Valuation, SetContents>> next =
-              SampleInternal(task, svc, nu, set);
+          std::optional<std::pair<Valuation, TaskSets>> next =
+              SampleInternal(task, svc, nu, sets);
           if (!next.has_value()) continue;  // try another move next loop
           nu = next->first;
-          set = next->second;
+          sets = next->second;
           run.steps.push_back(RunStep{
-              ServiceRef::Internal(task_id, move.index), nu, set, -1});
+              ServiceRef::Internal(task_id, move.index), nu, sets, -1});
           opened_in_segment.clear();
           break;
         }
@@ -153,7 +153,7 @@ class Simulator {
           int child_node = tree->AddRun(LocalRun{});
           SimulateRun(child_id, child_input, tree, child_node);
           run.steps.push_back(RunStep{ServiceRef::Opening(child_id), nu,
-                                      set, child_node});
+                                      sets, child_node});
           opened_in_segment.insert(child_id);
           const LocalRun& child_run = tree->runs[child_node];
           if (child_run.returning) {
@@ -167,7 +167,7 @@ class Simulator {
             }
             nu = next;
             run.steps.push_back(
-                RunStep{ServiceRef::Closing(child_id), nu, set, -1});
+                RunStep{ServiceRef::Closing(child_id), nu, sets, -1});
           } else {
             // Child never returns: this run blocks here.
             run.returning = false;
@@ -178,7 +178,7 @@ class Simulator {
         }
         case Move::Kind::kClose: {
           run.steps.push_back(
-              RunStep{ServiceRef::Closing(task_id), nu, set, -1});
+              RunStep{ServiceRef::Closing(task_id), nu, sets, -1});
           run.returning = true;
           run.output = nu;
           tree->runs[node] = std::move(run);
@@ -190,10 +190,14 @@ class Simulator {
     tree->runs[node] = std::move(run);
   }
 
-  /// Rejection-samples a successor valuation for an internal service.
-  std::optional<std::pair<Valuation, SetContents>> SampleInternal(
+  /// Rejection-samples a successor valuation for an internal service,
+  /// applying the per-relation insert/retrieve semantics of δ. Retrieved
+  /// tuples are chosen relation by relation in ascending index order;
+  /// when relations share variables a later choice can invalidate an
+  /// earlier one, so membership is re-checked before accepting.
+  std::optional<std::pair<Valuation, TaskSets>> SampleInternal(
       const Task& task, const InternalService& svc, const Valuation& nu,
-      const SetContents& set) {
+      const TaskSets& sets) {
     std::set<int> inputs;
     for (const auto& [own, parent] : task.fin()) {
       (void)parent;
@@ -205,36 +209,48 @@ class Simulator {
         if (inputs.count(v) > 0) continue;
         next[v] = SampleValue(task.vars().var(v).sort);
       }
-      SetContents next_set = set;
-      if (svc.retrieves) {
-        // Choose the retrieved tuple: a member of S (∪ inserted).
-        SetContents candidates = set;
-        if (svc.inserts) {
-          std::vector<Value> inserted;
-          for (int v : task.set_vars()) inserted.push_back(nu[v]);
-          candidates.insert(inserted);
+      // Pick each retrieved tuple (ascending relation index) and write
+      // it into the candidate valuation first ...
+      for (int rel = 0; rel < task.num_set_relations(); ++rel) {
+        if (!svc.RetrievesFrom(rel)) continue;
+        // Choose the retrieved tuple: a member of S_rel (∪ inserted).
+        SetContents candidates = RelationContents(sets, rel);
+        if (svc.InsertsInto(rel)) {
+          candidates.insert(SetTupleOf(task, rel, nu));
         }
         if (candidates.empty()) return std::nullopt;
         std::uniform_int_distribution<size_t> d(0, candidates.size() - 1);
         auto it = candidates.begin();
         std::advance(it, d(rng_));
         const std::vector<Value>& chosen = *it;
-        for (size_t k = 0; k < task.set_vars().size(); ++k) {
-          next[task.set_vars()[k]] = chosen[k];
+        const std::vector<int>& tuple = task.set_relations()[rel].vars;
+        for (size_t k = 0; k < tuple.size(); ++k) {
+          next[tuple[k]] = chosen[k];
         }
-        if (svc.inserts) {
-          std::vector<Value> inserted;
-          for (int v : task.set_vars()) inserted.push_back(nu[v]);
-          next_set.insert(inserted);
-        }
-        next_set.erase(chosen);
-      } else if (svc.inserts) {
-        std::vector<Value> inserted;
-        for (int v : task.set_vars()) inserted.push_back(nu[v]);
-        next_set.insert(inserted);
       }
-      if (EvalCondition(*svc.post, db_, next)) {
-        return std::make_pair(next, next_set);
+      // ... then derive the successor sets from the FINAL valuation,
+      // mirroring CheckInternalTransition: when relations share
+      // variables a later choice can overwrite an earlier one, in which
+      // case the earlier relation's retrieved tuple (re-read off the
+      // final valuation) may be absent — reject the attempt.
+      TaskSets next_sets = sets;
+      next_sets.resize(static_cast<size_t>(task.num_set_relations()));
+      bool ok = true;
+      for (int rel = 0; rel < task.num_set_relations() && ok; ++rel) {
+        if (svc.InsertsInto(rel)) {
+          next_sets[rel].insert(SetTupleOf(task, rel, nu));
+        }
+        if (svc.RetrievesFrom(rel)) {
+          std::vector<Value> retrieved = SetTupleOf(task, rel, next);
+          if (next_sets[rel].count(retrieved) == 0) {
+            ok = false;
+            break;
+          }
+          next_sets[rel].erase(retrieved);
+        }
+      }
+      if (ok && EvalCondition(*svc.post, db_, next)) {
+        return std::make_pair(next, next_sets);
       }
     }
     return std::nullopt;

@@ -125,6 +125,16 @@ class Parser {
   }
 
   // --- tasks ----------------------------------------------------------------
+  /// A service set-update awaiting relation-name resolution: `set`
+  /// blocks may appear anywhere in the task body, so `insert into X;`
+  /// is resolved once the body is fully parsed.
+  struct PendingSetOp {
+    int service = -1;       ///< index into the task's services
+    std::string relation;   ///< empty for the bare insert/retrieve sugar
+    bool is_insert = false;
+    int line = 0;
+  };
+
   Status ParseTask(ArtifactSystem* system, TaskId parent) {
     HAS_RETURN_IF_ERROR(ExpectIdent("task"));
     if (Peek().kind != TokKind::kIdent) return Error("task name");
@@ -132,6 +142,7 @@ class Parser {
     TaskId id = system->AddTask(name, parent);
     HAS_RETURN_IF_ERROR(Expect(TokKind::kLBrace));
     schema_ = &system->schema();
+    std::vector<PendingSetOp> pending_set_ops;
     while (!Consume(TokKind::kRBrace)) {
       // Re-fetch on every iteration: nested AddTask calls may
       // reallocate the task vector and invalidate references.
@@ -147,6 +158,14 @@ class Parser {
         HAS_RETURN_IF_ERROR(Expect(TokKind::kSemi));
       } else if (PeekIdent("set")) {
         Next();
+        // Named form `set Name (x̄);` or the single-relation sugar
+        // `set (x̄);` (relation name "S").
+        std::string rel_name = kDefaultSetName;
+        if (Peek().kind == TokKind::kIdent) rel_name = Next().text;
+        if (task.FindSetRelation(rel_name) >= 0) {
+          return Error(StrCat("artifact relation ", rel_name,
+                              " declared twice"));
+        }
         HAS_RETURN_IF_ERROR(Expect(TokKind::kLParen));
         std::vector<int> set_vars;
         while (Peek().kind == TokKind::kIdent) {
@@ -157,7 +176,7 @@ class Parser {
         }
         HAS_RETURN_IF_ERROR(Expect(TokKind::kRParen));
         HAS_RETURN_IF_ERROR(Expect(TokKind::kSemi));
-        task.DeclareSet(std::move(set_vars));
+        task.AddSetRelation(std::move(rel_name), std::move(set_vars));
       } else if (PeekIdent("input")) {
         Next();
         HAS_RETURN_IF_ERROR(Expect(TokKind::kColon));
@@ -251,12 +270,21 @@ class Parser {
             HAS_RETURN_IF_ERROR(Expect(TokKind::kColon));
             HAS_ASSIGN_OR_RETURN(svc.post, ParseCond());
             HAS_RETURN_IF_ERROR(Expect(TokKind::kSemi));
-          } else if (ConsumeIdent("insert")) {
-            svc.inserts = true;
+          } else if (PeekIdent("insert") || PeekIdent("retrieve")) {
+            PendingSetOp op;
+            op.is_insert = Next().text == "insert";
+            op.line = Peek().line;
+            // `insert into X;` / `retrieve from X;`, or the bare
+            // single-relation sugar `insert;` / `retrieve;`.
+            if (ConsumeIdent(op.is_insert ? "into" : "from")) {
+              if (Peek().kind != TokKind::kIdent) {
+                return Error("artifact relation name");
+              }
+              op.relation = Next().text;
+            }
             HAS_RETURN_IF_ERROR(Expect(TokKind::kSemi));
-          } else if (ConsumeIdent("retrieve")) {
-            svc.retrieves = true;
-            HAS_RETURN_IF_ERROR(Expect(TokKind::kSemi));
+            op.service = static_cast<int>(task.services().size());
+            pending_set_ops.push_back(std::move(op));
           } else {
             return Error("expected pre/post/insert/retrieve");
           }
@@ -266,6 +294,38 @@ class Parser {
         HAS_RETURN_IF_ERROR(ParseTask(system, id));
       } else {
         return Error(StrCat("unexpected '", Peek().text, "' in task body"));
+      }
+    }
+    // Resolve the deferred set updates now that every `set` block of
+    // the body has been seen.
+    Task& task = system->task(id);
+    for (const PendingSetOp& op : pending_set_ops) {
+      int rel;
+      if (op.relation.empty()) {
+        if (task.num_set_relations() != 1) {
+          return Status::InvalidArgument(StrCat(
+              "line ", op.line, ": bare ", op.is_insert ? "insert" : "retrieve",
+              task.num_set_relations() == 0
+                  ? " in a task without an artifact relation"
+                  : StrCat(" is ambiguous among ", task.num_set_relations(),
+                           " relations; use '",
+                           op.is_insert ? "insert into" : "retrieve from",
+                           " <name>'")));
+        }
+        rel = 0;
+      } else {
+        rel = task.FindSetRelation(op.relation);
+        if (rel < 0) {
+          return Status::InvalidArgument(
+              StrCat("line ", op.line, ": unknown artifact relation ",
+                     op.relation, " in task ", task.name()));
+        }
+      }
+      InternalService& svc = task.mutable_service(op.service);
+      if (op.is_insert) {
+        svc.MarkInsert(rel);
+      } else {
+        svc.MarkRetrieve(rel);
       }
     }
     return Status::Ok();

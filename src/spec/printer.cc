@@ -4,6 +4,186 @@
 
 namespace has {
 
+namespace {
+
+/// Renders a rational as a literal the spec lexer accepts: integers
+/// as-is, non-integers as an exact decimal. Rational::ToString prints
+/// "num/den", which the lexer rejects ('/' is not a token). An exact
+/// decimal exists iff the denominator is 2^a·5^b — always true for
+/// rationals the parser itself produced (spec literals are decimal);
+/// anything else (e.g. a programmatic 1/3) falls back to the
+/// non-parseable debug form.
+std::string RationalLiteral(const Rational& r) {
+  if (r.den() == BigInt(1)) return r.num().ToString();
+  BigInt rest = r.den();
+  int twos = 0, fives = 0;
+  while ((rest % BigInt(2)).is_zero()) {
+    rest = rest / BigInt(2);
+    ++twos;
+  }
+  while ((rest % BigInt(5)).is_zero()) {
+    rest = rest / BigInt(5);
+    ++fives;
+  }
+  if (rest != BigInt(1)) return r.ToString();
+  int k = twos > fives ? twos : fives;
+  BigInt num = r.num().Abs();
+  for (int i = twos; i < k; ++i) num *= BigInt(2);
+  for (int i = fives; i < k; ++i) num *= BigInt(5);
+  BigInt pow10(1);
+  for (int i = 0; i < k; ++i) pow10 *= BigInt(10);
+  std::string frac = (num % pow10).ToString();
+  frac.insert(0, static_cast<size_t>(k) - frac.size(), '0');
+  return StrCat(r.num().is_negative() ? "-" : "", (num / pow10).ToString(),
+                ".", frac);
+}
+
+std::string TermSource(const Term& t, const VarScope& scope) {
+  switch (t.kind) {
+    case Term::Kind::kVar:
+      return scope.var(t.var).name;
+    case Term::Kind::kNull:
+      return "null";
+    case Term::Kind::kConst:
+      return RationalLiteral(t.value);
+  }
+  return "?";
+}
+
+/// Parseable operator for a linear constraint (the debug RelopName
+/// prints "=" for kEq, which the parser does not accept).
+const char* RelopSource(Relop op) {
+  switch (op) {
+    case Relop::kLt:
+      return "<";
+    case Relop::kLe:
+      return "<=";
+    case Relop::kEq:
+      return "==";
+  }
+  return "?";
+}
+
+std::string LinearSource(const LinearExpr& expr, const VarScope& scope) {
+  std::vector<std::string> parts;
+  for (const auto& [v, c] : expr.coefs()) {
+    if (c == Rational(1)) {
+      parts.push_back(scope.var(v).name);
+    } else {
+      parts.push_back(StrCat(RationalLiteral(c), "*", scope.var(v).name));
+    }
+  }
+  if (!expr.constant().is_zero() || parts.empty()) {
+    parts.push_back(RationalLiteral(expr.constant()));
+  }
+  return StrJoin(parts, " + ");
+}
+
+void Indent(std::string* out, int depth) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+}
+
+void PrintTaskSource(const ArtifactSystem& system, TaskId id,
+                     std::string* out, int depth) {
+  const Task& t = system.task(id);
+  const DatabaseSchema& schema = system.schema();
+  Indent(out, depth);
+  *out += StrCat("task ", t.name(), " {\n");
+  std::vector<std::string> ids, nums;
+  for (int v = 0; v < t.vars().size(); ++v) {
+    (t.vars().var(v).sort == VarSort::kId ? ids : nums)
+        .push_back(t.vars().var(v).name);
+  }
+  if (!ids.empty()) {
+    Indent(out, depth + 1);
+    *out += StrCat("ids: ", StrJoin(ids, ", "), ";\n");
+  }
+  if (!nums.empty()) {
+    Indent(out, depth + 1);
+    *out += StrCat("nums: ", StrJoin(nums, ", "), ";\n");
+  }
+  for (const SetRelation& rel : t.set_relations()) {
+    std::vector<std::string> sv;
+    for (int v : rel.vars) sv.push_back(t.vars().var(v).name);
+    Indent(out, depth + 1);
+    // The default name prints through the single-relation sugar, which
+    // re-parses to the same name.
+    if (rel.name == kDefaultSetName) {
+      *out += StrCat("set (", StrJoin(sv, ", "), ");\n");
+    } else {
+      *out += StrCat("set ", rel.name, " (", StrJoin(sv, ", "), ");\n");
+    }
+  }
+  if (!t.fin().empty()) {
+    std::vector<std::string> parts;
+    for (const auto& [own, parent] : t.fin()) {
+      if (t.is_root()) {
+        parts.push_back(t.vars().var(own).name);
+      } else {
+        parts.push_back(StrCat(t.vars().var(own).name, " <- ",
+                               system.task(t.parent()).vars().var(parent)
+                                   .name));
+      }
+    }
+    Indent(out, depth + 1);
+    *out += StrCat("input: ", StrJoin(parts, ", "), ";\n");
+  }
+  if (!t.fout().empty()) {
+    std::vector<std::string> parts;
+    for (const auto& [parent, own] : t.fout()) {
+      parts.push_back(StrCat(t.vars().var(own).name, " -> ",
+                             system.task(t.parent()).vars().var(parent)
+                                 .name));
+    }
+    Indent(out, depth + 1);
+    *out += StrCat("output: ", StrJoin(parts, ", "), ";\n");
+  }
+  if (!t.is_root()) {
+    Indent(out, depth + 1);
+    *out += StrCat("open when ",
+                   PrintConditionSource(*t.opening_pre(),
+                                        system.task(t.parent()).vars(),
+                                        schema),
+                   ";\n");
+    Indent(out, depth + 1);
+    *out += StrCat("close when ",
+                   PrintConditionSource(*t.closing_pre(), t.vars(), schema),
+                   ";\n");
+  } else if (system.global_pre() != nullptr &&
+             system.global_pre()->kind() != CondKind::kTrue) {
+    Indent(out, depth + 1);
+    *out += StrCat("init when ",
+                   PrintConditionSource(*system.global_pre(), t.vars(),
+                                        schema),
+                   ";\n");
+  }
+  for (const InternalService& s : t.services()) {
+    Indent(out, depth + 1);
+    *out += StrCat("service ", s.name, " {\n");
+    Indent(out, depth + 2);
+    *out += StrCat("pre: ", PrintConditionSource(*s.pre, t.vars(), schema),
+                   ";\n");
+    Indent(out, depth + 2);
+    *out += StrCat("post: ", PrintConditionSource(*s.post, t.vars(), schema),
+                   ";\n");
+    for (int r : s.insert_rels) {
+      Indent(out, depth + 2);
+      *out += StrCat("insert into ", t.set_relations()[r].name, ";\n");
+    }
+    for (int r : s.retrieve_rels) {
+      Indent(out, depth + 2);
+      *out += StrCat("retrieve from ", t.set_relations()[r].name, ";\n");
+    }
+    Indent(out, depth + 1);
+    *out += "}\n";
+  }
+  for (TaskId c : t.children()) PrintTaskSource(system, c, out, depth + 1);
+  Indent(out, depth);
+  *out += "}\n";
+}
+
+}  // namespace
+
 std::string PrintSystem(const ArtifactSystem& system) {
   return system.ToString();
 }
@@ -11,6 +191,68 @@ std::string PrintSystem(const ArtifactSystem& system) {
 std::string PrintProperty(const ArtifactSystem& system,
                           const HltlProperty& property) {
   return property.ToString(system);
+}
+
+std::string PrintConditionSource(const Condition& cond,
+                                 const VarScope& scope,
+                                 const DatabaseSchema& schema) {
+  switch (cond.kind()) {
+    case CondKind::kTrue:
+      return "true";
+    case CondKind::kFalse:
+      return "false";
+    case CondKind::kEq:
+      return StrCat(TermSource(cond.lhs(), scope), " == ",
+                    TermSource(cond.rhs(), scope));
+    case CondKind::kRel: {
+      std::vector<std::string> parts;
+      for (int a : cond.args()) parts.push_back(scope.var(a).name);
+      return StrCat(schema.relation(cond.relation()).name(), "(",
+                    StrJoin(parts, ", "), ")");
+    }
+    case CondKind::kArith:
+      return StrCat(LinearSource(cond.constraint().expr, scope), " ",
+                    RelopSource(cond.constraint().op), " 0");
+    case CondKind::kNot:
+      return StrCat("!(",
+                    PrintConditionSource(*cond.child(0), scope, schema),
+                    ")");
+    case CondKind::kAnd:
+      return StrCat("(", PrintConditionSource(*cond.child(0), scope, schema),
+                    " && ",
+                    PrintConditionSource(*cond.child(1), scope, schema),
+                    ")");
+    case CondKind::kOr:
+      return StrCat("(", PrintConditionSource(*cond.child(0), scope, schema),
+                    " || ",
+                    PrintConditionSource(*cond.child(1), scope, schema),
+                    ")");
+  }
+  return "?";
+}
+
+std::string PrintSystemSource(const ArtifactSystem& system) {
+  std::string out = "system {\n";
+  const DatabaseSchema& schema = system.schema();
+  for (RelationId r = 0; r < schema.num_relations(); ++r) {
+    const Relation& rel = schema.relation(r);
+    out += StrCat("  relation ", rel.name(), " {");
+    std::string attrs;
+    for (int a = 1; a < rel.arity(); ++a) {
+      if (rel.attr(a).kind == AttrKind::kNumeric) {
+        attrs += StrCat(" ", rel.attr(a).name, ": num;");
+      } else {
+        attrs += StrCat(" ", rel.attr(a).name, " -> ",
+                        schema.relation(rel.attr(a).references).name(), ";");
+      }
+    }
+    out += attrs.empty() ? " }\n" : StrCat(attrs, " }\n");
+  }
+  if (system.num_tasks() > 0) {
+    PrintTaskSource(system, system.root(), &out, 1);
+  }
+  out += "}\n";
+  return out;
 }
 
 }  // namespace has

@@ -1,5 +1,15 @@
-// Debug printing of parsed specifications (not guaranteed to
-// round-trip; intended for diagnostics and golden tests).
+// Printing of parsed specifications. Two flavors:
+//  - PrintSystem / PrintProperty: compact debug dumps (diagnostics and
+//    golden tests; not guaranteed to round-trip);
+//  - PrintSystemSource: parseable `.has` source for the system block.
+//    ParseSpec(PrintSystemSource(s)) reconstructs an equivalent system
+//    — tasks, variable scopes, named artifact relations (the
+//    single-relation sugar `set (x̄);` is emitted for the default
+//    relation "S"), per-relation service updates, input/output wiring
+//    and conditions all survive the round trip. Properties are not
+//    printed (conditions embedded in HLTL render through the same
+//    parseable path, but skeleton reconstruction is not needed by any
+//    consumer yet).
 #ifndef HAS_SPEC_PRINTER_H_
 #define HAS_SPEC_PRINTER_H_
 
@@ -13,6 +23,15 @@ namespace has {
 std::string PrintSystem(const ArtifactSystem& system);
 std::string PrintProperty(const ArtifactSystem& system,
                           const HltlProperty& property);
+
+/// Parseable `.has` source of the system block (see header comment).
+std::string PrintSystemSource(const ArtifactSystem& system);
+
+/// A condition in the spec language's concrete syntax (parses back
+/// through ParseCondition under the same scope/schema).
+std::string PrintConditionSource(const Condition& cond,
+                                 const VarScope& scope,
+                                 const DatabaseSchema& schema);
 
 }  // namespace has
 

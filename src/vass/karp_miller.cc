@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
 #include <deque>
 #include <memory>
 #include <thread>
@@ -385,11 +384,13 @@ void KarpMiller::BuildSharded(const std::vector<int>& initial_states) {
     CandidateBatch& box = outboxes[w >= 0 ? w : num_shards][dest];
     if (box.empty()) return;
     while (!shards[dest].queue->TryPush(std::move(box))) {
-      // Back off when there is nothing useful to do: a hot retry loop
-      // on an oversubscribed host steals cycles from the very thread
-      // that must drain the full destination queue.
+      // Make progress on the own inbound queue when possible; when
+      // there is nothing useful to do, park on the destination's
+      // not-full condition instead of busy-spinning (the destination's
+      // owner never parks while its own queue is full, so the wait
+      // chain is acyclic and every TryPop wakes us).
       if (w < 0 || !drain_own(w)) {
-        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        shards[dest].queue->WaitNotFull();
       }
     }
     box = CandidateBatch();
@@ -471,12 +472,24 @@ void KarpMiller::BuildSharded(const std::vector<int>& initial_states) {
     }
     for (int dest = 0; dest < num_shards; ++dest) flush_outbox(w, dest);
     producers_done.fetch_add(1);
+    // The producers_done transition is part of every drainer's exit
+    // condition, so wake all parked drainers to re-check it.
+    for (Shard& s : shards) s.queue->Nudge();
     if (w < 0) return;
     // Drain until every producer (workers + coordinator) finished and
     // the own queue is empty, then dedup in deterministic rank order.
-    while (producers_done.load() < num_shards + 1) {
+    // Idle drainers park on their queue's not-empty condition; TryPush
+    // and the Nudge above provide the wakeups. The epoch is read BEFORE
+    // the producers_done check: the final producer's increment
+    // happens-before its Nudge, so if the check missed the increment,
+    // the Nudge's epoch bump postdates our read and WaitNotEmpty
+    // returns immediately — the check→wait window cannot lose the last
+    // wakeup.
+    for (;;) {
+      size_t epoch = shards[w].queue->Epoch();
+      if (producers_done.load() >= num_shards + 1) break;
       if (!drain_own(w)) {
-        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        shards[w].queue->WaitNotEmpty(epoch);
       }
     }
     drain_own(w);

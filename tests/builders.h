@@ -28,7 +28,7 @@ inline ArtifactSystem FlatSystem(bool with_set) {
     pick.name = "pick";
     pick.pre = Condition::IsNull(x);
     pick.post = Condition::Rel(r, {x, y});
-    if (with_set) pick.inserts = true;
+    if (with_set) pick.MarkInsert();
     t.AddInternalService(std::move(pick));
   }
   {
@@ -36,7 +36,7 @@ inline ArtifactSystem FlatSystem(bool with_set) {
     drop.name = "drop";
     drop.pre = Condition::Not(Condition::IsNull(x));
     drop.post = Condition::And(Condition::IsNull(x), Condition::IsNull(y));
-    if (with_set) drop.retrieves = true;
+    if (with_set) drop.MarkRetrieve();
     t.AddInternalService(std::move(drop));
   }
   return system;

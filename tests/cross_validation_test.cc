@@ -9,6 +9,7 @@
 #include "core/verifier.h"
 #include "data/generator.h"
 #include "runs/bounded_checker.h"
+#include "spec/parser.h"
 
 namespace has {
 namespace {
@@ -73,6 +74,172 @@ TEST_P(CrossValidation, SymbolicAgreesWithConcrete) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Cases, CrossValidation, ::testing::Range(0, 3));
+
+// Two independent single-variable "modules" in one task: relation P
+// over x (bindx/storex/loadx) and relation Q over y (bindy/storey —
+// OPTIONAL — /loady). The modules share no variables, services or
+// conditions, so every verdict over one module must be independent of
+// the other's presence.
+constexpr char kTwoModuleSpecWithStorey[] = R"(
+system {
+  relation R { }
+  task Main {
+    ids: x, y;
+    set P (x);
+    set Q (y);
+    service bindx { pre: x == null; post: R(x); }
+    service bindy { pre: y == null; post: R(y); }
+    service storex { pre: x != null; post: true; insert into P; }
+    service storey { pre: y != null; post: true; insert into Q; }
+    service loadx { pre: true; post: x != null; retrieve from P; }
+    service loady { pre: true; post: y != null; retrieve from Q; }
+  }
+}
+property no_loadx { G ! svc(loadx) }
+property no_loady { G ! svc(loady) }
+property neither { (G ! svc(loadx)) && (G ! svc(loady)) }
+)";
+
+/// The same two-module system with storey REMOVED: Q stays empty
+/// forever, so loady can never fire.
+constexpr char kTwoModuleSpecNoStorey[] = R"(
+system {
+  relation R { }
+  task Main {
+    ids: x, y;
+    set P (x);
+    set Q (y);
+    service bindx { pre: x == null; post: R(x); }
+    service bindy { pre: y == null; post: R(y); }
+    service storex { pre: x != null; post: true; insert into P; }
+    service loadx { pre: true; post: x != null; retrieve from P; }
+    service loady { pre: true; post: y != null; retrieve from Q; }
+  }
+}
+property no_loadx { G ! svc(loadx) }
+property no_loady { G ! svc(loady) }
+property neither { (G ! svc(loadx)) && (G ! svc(loady)) }
+)";
+
+/// Single-module projections of the two systems (only the x/P or only
+/// the y/Q module), for the independence product check.
+constexpr char kModuleXOnly[] = R"(
+system {
+  relation R { }
+  task Main {
+    ids: x;
+    set P (x);
+    service bindx { pre: x == null; post: R(x); }
+    service storex { pre: x != null; post: true; insert into P; }
+    service loadx { pre: true; post: x != null; retrieve from P; }
+  }
+}
+property no_loadx { G ! svc(loadx) }
+)";
+
+constexpr char kModuleYOnlyNoStorey[] = R"(
+system {
+  relation R { }
+  task Main {
+    ids: y;
+    set Q (y);
+    service bindy { pre: y == null; post: R(y); }
+    service loady { pre: true; post: y != null; retrieve from Q; }
+  }
+}
+property no_loady { G ! svc(loady) }
+)";
+
+Verdict VerdictOf(const char* spec, const std::string& property) {
+  auto parsed = ParseSpec(spec);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(ValidateSystem(parsed->system).ok())
+      << ValidateSystem(parsed->system).ToString();
+  const HltlProperty* p = parsed->FindProperty(property);
+  EXPECT_NE(p, nullptr) << property;
+  VerifyResult result = Verify(parsed->system, *p);
+  EXPECT_NE(result.verdict, Verdict::kInconclusive) << property;
+  return result.verdict;
+}
+
+/// Cross-validates one (spec, property) pair against the concrete
+/// semantics, FlatSystem-style.
+void ExpectConcreteAgreement(const char* spec, const std::string& property,
+                             Verdict expected) {
+  auto parsed = ParseSpec(spec);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const HltlProperty* p = parsed->FindProperty(property);
+  ASSERT_NE(p, nullptr);
+  VerifyResult symbolic = Verify(parsed->system, *p);
+  EXPECT_EQ(symbolic.verdict, expected) << property;
+  GeneratorOptions gen;
+  gen.tuples_per_relation = 3;
+  DatabaseInstance db = GenerateInstance(parsed->system.schema(), gen);
+  std::optional<RunTree> concrete =
+      FindTreeSatisfying(parsed->system, db, p->Negated(), 150);
+  if (symbolic.verdict == Verdict::kHolds) {
+    EXPECT_FALSE(concrete.has_value())
+        << property << ": concrete counterexample but symbolic HOLDS";
+  } else {
+    EXPECT_TRUE(concrete.has_value())
+        << property << ": symbolic VIOLATED but no concrete witness found";
+  }
+}
+
+TEST(MultiRelationCrossValidation, SymbolicAgreesWithConcrete) {
+  ExpectConcreteAgreement(kTwoModuleSpecWithStorey, "no_loadx",
+                          Verdict::kViolated);
+  ExpectConcreteAgreement(kTwoModuleSpecWithStorey, "no_loady",
+                          Verdict::kViolated);
+  ExpectConcreteAgreement(kTwoModuleSpecNoStorey, "no_loady",
+                          Verdict::kHolds);
+  ExpectConcreteAgreement(kTwoModuleSpecNoStorey, "neither",
+                          Verdict::kViolated);
+}
+
+TEST(MultiRelationCrossValidation, IndependentModulesProductVerdict) {
+  // The two relations are semantically independent, so each module's
+  // verdict in the combined system must equal its verdict alone, and
+  // the conjunction's verdict must be the product (HOLDS iff both
+  // hold).
+  Verdict x_alone = VerdictOf(kModuleXOnly, "no_loadx");
+  Verdict y_alone = VerdictOf(kModuleYOnlyNoStorey, "no_loady");
+  EXPECT_EQ(x_alone, Verdict::kViolated);
+  EXPECT_EQ(y_alone, Verdict::kHolds);
+  EXPECT_EQ(VerdictOf(kTwoModuleSpecNoStorey, "no_loadx"), x_alone);
+  EXPECT_EQ(VerdictOf(kTwoModuleSpecNoStorey, "no_loady"), y_alone);
+  Verdict product = (x_alone == Verdict::kHolds &&
+                     y_alone == Verdict::kHolds)
+                        ? Verdict::kHolds
+                        : Verdict::kViolated;
+  EXPECT_EQ(VerdictOf(kTwoModuleSpecNoStorey, "neither"), product);
+  // And with storey present both modules are violated — the product
+  // flips together with its factors.
+  EXPECT_EQ(VerdictOf(kTwoModuleSpecWithStorey, "neither"),
+            Verdict::kViolated);
+}
+
+TEST(MultiRelationCrossValidation, SharedTupleVariableKeepsRelationsApart) {
+  // Two relations over the SAME variable: their TS-type projections are
+  // textually identical (equal pooled TypeIds), so only the
+  // (relation, TypeId) dimension keying keeps the counter groups apart.
+  // Inserting into P must not make a retrieve from Q feasible.
+  constexpr char spec[] = R"(
+system {
+  relation R { }
+  task Main {
+    ids: x;
+    set P (x);
+    set Q (x);
+    service bind { pre: x == null; post: R(x); }
+    service storeP { pre: x != null; post: true; insert into P; }
+    service loadQ { pre: true; post: x != null; retrieve from Q; }
+  }
+}
+property q_stays_empty { G ! svc(loadQ) }
+)";
+  ExpectConcreteAgreement(spec, "q_stays_empty", Verdict::kHolds);
+}
 
 TEST(CrossValidation, HierarchicalViolationHasConcreteWitness) {
   ArtifactSystem system = testing::ParentChildSystem();

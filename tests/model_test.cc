@@ -48,7 +48,7 @@ TEST(ValidateTest, SetUpdateWithoutSetRejected) {
   bad.name = "bad";
   bad.pre = Condition::True();
   bad.post = Condition::True();
-  bad.inserts = true;
+  bad.MarkInsert();
   system.task(0).AddInternalService(std::move(bad));
   EXPECT_FALSE(ValidateSystem(system).ok());
 }

@@ -303,6 +303,14 @@ TEST(PruningCrossValidation, MultiVariableSet) {
   ExpectPruningEquivalence(w.system, w.property, w.name);
 }
 
+TEST(PruningCrossValidation, MultiRelation) {
+  // Two artifact relations per task (each its own counter-dimension
+  // group), including the cross-relation rotate delta.
+  bench::Workload w = bench::MakeMultiRelation(/*size=*/3, /*depth=*/2,
+                                               /*num_rels=*/2);
+  ExpectPruningEquivalence(w.system, w.property, w.name);
+}
+
 std::string LoadSpec(const std::string& name) {
   for (const std::string& prefix :
        {std::string("examples/specs/"), std::string("../examples/specs/"),

@@ -121,16 +121,86 @@ TEST(Restrictions, R4_InternalWithActiveChildRejected) {
   EXPECT_NE(s.message().find("restriction 4"), std::string::npos);
 }
 
-// Restrictions 5 and 7: one artifact relation per task with a fixed
-// tuple — true by construction of the Task API (DeclareSet overwrites,
-// set updates always use s̄_T).
-TEST(Restrictions, R5_R7_SingleSetFixedTuple) {
+// Restrictions 5 and 7, per-relation form: each relation S_T,i has a
+// FIXED tuple (re-declaring a name replaces its tuple in place rather
+// than growing the family) and every set update targets a declared
+// relation through its index.
+TEST(Restrictions, R5_R7_PerRelationFixedTuple) {
   ArtifactSystem system = testing::FlatSystem(true);
   EXPECT_TRUE(system.task(0).has_set());
+  EXPECT_EQ(system.task(0).num_set_relations(), 1);
   EXPECT_EQ(system.task(0).set_vars().size(), 1u);
-  // The API provides no second relation; re-declaration replaces.
-  system.task(0).DeclareSet({0});
-  EXPECT_EQ(system.task(0).set_vars().size(), 1u);
+  // Re-declaring the default relation replaces its tuple in place.
+  system.task(0).DeclareSet({0, 1});
+  EXPECT_EQ(system.task(0).num_set_relations(), 1);
+  EXPECT_EQ(system.task(0).set_vars().size(), 2u);
+  // A second NAMED relation genuinely extends the family.
+  int r = system.task(0).AddSetRelation("Aux", {1});
+  EXPECT_EQ(r, 1);
+  EXPECT_EQ(system.task(0).num_set_relations(), 2);
+  EXPECT_EQ(system.task(0).FindSetRelation("Aux"), 1);
+}
+
+// Per-relation validation (generalized restrictions 5/7): every
+// relation of the family is checked on its own.
+TEST(Restrictions, PerRelationValidationErrors) {
+  {
+    // Arity 0.
+    ArtifactSystem system = testing::FlatSystem(false);
+    system.task(0).AddSetRelation("Empty", {});
+    EXPECT_FALSE(ValidateSystem(system).ok());
+  }
+  {
+    // Repeated ID variable within one relation's tuple.
+    ArtifactSystem system = testing::FlatSystem(false);
+    system.task(0).AddSetRelation("Dup", {0, 0});
+    EXPECT_FALSE(ValidateSystem(system).ok());
+  }
+  {
+    // A numeric variable in a SECOND relation (the first is fine).
+    ArtifactSystem system = testing::FlatSystem(true);
+    Task& t = system.task(0);
+    int n = t.vars().AddVar("n", VarSort::kNumeric);
+    t.AddSetRelation("Nums", {n});
+    EXPECT_FALSE(ValidateSystem(system).ok());
+  }
+  {
+    // Update targeting an undeclared relation index.
+    ArtifactSystem system = testing::FlatSystem(true);
+    InternalService bad;
+    bad.name = "bad";
+    bad.pre = Condition::True();
+    bad.post = Condition::True();
+    bad.MarkInsert(/*rel=*/1);  // only relation 0 exists
+    system.task(0).AddInternalService(std::move(bad));
+    EXPECT_FALSE(ValidateSystem(system).ok());
+  }
+  {
+    // Duplicate update of one relation in a single service delta.
+    ArtifactSystem system = testing::FlatSystem(true);
+    InternalService bad;
+    bad.name = "bad";
+    bad.pre = Condition::True();
+    bad.post = Condition::True();
+    bad.insert_rels = {0, 0};
+    system.task(0).AddInternalService(std::move(bad));
+    EXPECT_FALSE(ValidateSystem(system).ok());
+  }
+  {
+    // A well-formed TWO-relation task validates.
+    ArtifactSystem system = testing::FlatSystem(true);
+    Task& t = system.task(0);
+    t.AddSetRelation("Aux", {1});
+    InternalService move;
+    move.name = "move";
+    move.pre = Condition::True();
+    move.post = Condition::True();
+    move.MarkRetrieve(0);
+    move.MarkInsert(1);
+    t.AddInternalService(std::move(move));
+    EXPECT_TRUE(ValidateSystem(system).ok())
+        << ValidateSystem(system).ToString();
+  }
 }
 
 // Restriction 6: the artifact relation resets when a task (re)opens —
@@ -146,7 +216,8 @@ TEST(Restrictions, R6_SetResetsOnOpen) {
   run.input = input;
   SetContents nonempty;
   nonempty.insert({Value::Id(1, 1)});
-  run.steps.push_back(RunStep{ServiceRef::Opening(0), nu, nonempty, -1});
+  run.steps.push_back(
+      RunStep{ServiceRef::Opening(0), nu, TaskSets{nonempty}, -1});
   tree.runs.push_back(run);
   DatabaseInstance db(&system.schema());
   EXPECT_FALSE(CheckRunTree(system, db, tree).ok());

@@ -147,5 +147,182 @@ TEST(PrinterTest, SystemRoundTripsTextually) {
   EXPECT_NE(printed.find("go"), std::string::npos);
 }
 
+constexpr char kMultiRelSpec[] = R"(
+system {
+  relation R { next -> R2; }
+  relation R2 { price: num; }
+  task Main {
+    ids: x, y;  nums: n;
+    set Pending (x);
+    set Done (x, y);
+    init when true;
+    service bind {
+      pre: x == null && y == null;
+      post: R(x, y) && n == 0;
+    }
+    service enqueue {
+      pre: x != null;
+      post: true;
+      insert into Pending;
+    }
+    service finish {
+      pre: true;
+      post: x != null && y != null;
+      retrieve from Pending;
+      insert into Done;
+    }
+    task Audit {
+      ids: ax;
+      input: ax <- x;
+      set (ax);
+      open when x != null;
+      close when ax != null;
+      service log { pre: ax != null; post: true; insert; }
+    }
+  }
+}
+property drains { G ! svc(finish) }
+)";
+
+TEST(ParserTest, MultiRelationSpecParsesAndValidates) {
+  auto parsed = ParseSpec(kMultiRelSpec);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(ValidateSystem(parsed->system).ok())
+      << ValidateSystem(parsed->system).ToString();
+  const Task& main = parsed->system.task(0);
+  ASSERT_EQ(main.num_set_relations(), 2);
+  EXPECT_EQ(main.set_relations()[0].name, "Pending");
+  EXPECT_EQ(main.set_relations()[1].name, "Done");
+  EXPECT_EQ(main.set_relations()[0].vars.size(), 1u);
+  EXPECT_EQ(main.set_relations()[1].vars.size(), 2u);
+  // enqueue: +Pending; finish: -Pending +Done in ONE delta.
+  EXPECT_TRUE(main.service(1).InsertsInto(0));
+  EXPECT_FALSE(main.service(1).HasSetOps() &&
+               main.service(1).RetrievesFrom(0));
+  EXPECT_TRUE(main.service(2).RetrievesFrom(0));
+  EXPECT_TRUE(main.service(2).InsertsInto(1));
+  // The child uses the single-relation sugar: relation named "S".
+  const Task& audit = parsed->system.task(1);
+  ASSERT_EQ(audit.num_set_relations(), 1);
+  EXPECT_EQ(audit.set_relations()[0].name, "S");
+  EXPECT_TRUE(audit.service(0).InsertsInto(0));
+}
+
+TEST(ParserTest, MultiRelationErrors) {
+  // Unknown relation in a service update.
+  EXPECT_FALSE(ParseSpec(R"(
+system {
+  relation R { }
+  task T {
+    ids: x;
+    set A (x);
+    service s { pre: true; post: true; insert into Nope; }
+  }
+})")
+                   .ok());
+  // Bare insert is ambiguous with two relations declared.
+  auto ambiguous = ParseSpec(R"(
+system {
+  relation R { }
+  task T {
+    ids: x, y;
+    set A (x);
+    set B (y);
+    service s { pre: true; post: true; insert; }
+  }
+})");
+  ASSERT_FALSE(ambiguous.ok());
+  EXPECT_NE(ambiguous.status().message().find("ambiguous"),
+            std::string::npos);
+  // Bare retrieve without any relation.
+  EXPECT_FALSE(ParseSpec(R"(
+system {
+  relation R { }
+  task T {
+    ids: x;
+    service s { pre: true; post: true; retrieve; }
+  }
+})")
+                   .ok());
+  // Duplicate relation name.
+  EXPECT_FALSE(ParseSpec(R"(
+system {
+  relation R { }
+  task T {
+    ids: x, y;
+    set A (x);
+    set A (y);
+  }
+})")
+                   .ok());
+  // `set` blocks may FOLLOW the services that update them.
+  auto late = ParseSpec(R"(
+system {
+  relation R { }
+  task T {
+    ids: x;
+    service s { pre: true; post: true; insert into A; }
+    set A (x);
+  }
+})");
+  ASSERT_TRUE(late.ok()) << late.status().ToString();
+  EXPECT_TRUE(late->system.task(0).service(0).InsertsInto(0));
+}
+
+TEST(PrinterTest, MultiRelationSourceRoundTrips) {
+  auto parsed = ParseSpec(kMultiRelSpec);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  std::string printed = PrintSystemSource(parsed->system);
+  auto reparsed = ParseSpec(printed);
+  ASSERT_TRUE(reparsed.ok())
+      << reparsed.status().ToString() << "\nprinted:\n" << printed;
+  EXPECT_TRUE(ValidateSystem(reparsed->system).ok());
+  // Parse → print → parse → print reaches a fixpoint, and the debug
+  // dump (which covers scopes, relations and service deltas) agrees.
+  EXPECT_EQ(PrintSystemSource(reparsed->system), printed);
+  EXPECT_EQ(PrintSystem(reparsed->system), PrintSystem(parsed->system));
+  const Task& main = reparsed->system.task(0);
+  ASSERT_EQ(main.num_set_relations(), 2);
+  EXPECT_EQ(main.set_relations()[0].name, "Pending");
+  EXPECT_TRUE(main.service(2).RetrievesFrom(0));
+  EXPECT_TRUE(main.service(2).InsertsInto(1));
+  EXPECT_EQ(reparsed->system.task(1).set_relations()[0].name, "S");
+}
+
+TEST(PrinterTest, DecimalLiteralsRoundTrip) {
+  // Non-integer rationals must print as decimals, not "num/den" (the
+  // lexer has no '/'): 0.5 parses to 1/2 and must come back out as a
+  // parseable literal.
+  constexpr char spec[] = R"(
+system {
+  relation R { v: num; }
+  task Main {
+    ids: x; nums: n;
+    service go { pre: n < 0.5; post: 2.25*n - 0.5 <= n && n == 0.125; }
+  }
+}
+)";
+  auto parsed = ParseSpec(spec);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  std::string printed = PrintSystemSource(parsed->system);
+  EXPECT_EQ(printed.find('/'), std::string::npos) << printed;
+  auto reparsed = ParseSpec(printed);
+  ASSERT_TRUE(reparsed.ok())
+      << reparsed.status().ToString() << "\nprinted:\n" << printed;
+  EXPECT_EQ(PrintSystemSource(reparsed->system), printed);
+  EXPECT_EQ(PrintSystem(reparsed->system), PrintSystem(parsed->system));
+}
+
+TEST(PrinterTest, TinySpecSourceRoundTrips) {
+  auto parsed = ParseSpec(kTinySpec);
+  ASSERT_TRUE(parsed.ok());
+  std::string printed = PrintSystemSource(parsed->system);
+  auto reparsed = ParseSpec(printed);
+  ASSERT_TRUE(reparsed.ok())
+      << reparsed.status().ToString() << "\nprinted:\n" << printed;
+  EXPECT_EQ(PrintSystemSource(reparsed->system), printed);
+  EXPECT_EQ(PrintSystem(reparsed->system), PrintSystem(parsed->system));
+}
+
 }  // namespace
 }  // namespace has

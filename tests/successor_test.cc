@@ -55,8 +55,7 @@ TEST(EnumerateInternalTest, PostConditionEnforced) {
   CondPtr atom = Condition::Rel(1, {0, 1});
   for (const InternalSuccessor& s : succs) {
     EXPECT_EQ(s.next.iso.EvalAtom(*atom), Truth::kTrue);
-    EXPECT_FALSE(s.inserts);
-    EXPECT_FALSE(s.retrieves);
+    EXPECT_TRUE(s.set_ops.empty());
   }
 }
 
@@ -74,8 +73,10 @@ TEST(EnumerateInternalTest, SetUpdatesProduceSignatures) {
       EnumerateInternal(ctx, cur, system.task(0).service(0), &truncated);
   ASSERT_FALSE(succs.empty());
   for (const InternalSuccessor& s : succs) {
-    EXPECT_TRUE(s.inserts);
-    EXPECT_FALSE(s.retrieves);
+    ASSERT_EQ(s.set_ops.size(), 1u);
+    EXPECT_EQ(s.set_ops[0].relation, 0);
+    EXPECT_TRUE(s.set_ops[0].inserts);
+    EXPECT_FALSE(s.set_ops[0].retrieves);
   }
   // The inserted tuple's TS-type is the canonical projection of the
   // shared pre-state (Signature retained as the debug/printing path).
