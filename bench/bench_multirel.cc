@@ -40,6 +40,10 @@ void RunVerification(benchmark::State& state, const Workload& w) {
   state.counters["pooled_types"] = static_cast<double>(stats.pooled_types);
   state.counters["counter_dims"] = static_cast<double>(stats.counter_dims);
   state.counters["cover_edges"] = static_cast<double>(stats.cover_edges);
+  state.counters["antichain_probes"] =
+      static_cast<double>(stats.antichain_probes);
+  state.counters["antichain_skipped_by_summary"] =
+      static_cast<double>(stats.antichain_skipped_by_summary);
   state.counters["full_graph_builds"] =
       static_cast<double>(stats.full_graph_builds);
 }

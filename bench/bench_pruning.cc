@@ -52,6 +52,10 @@ void RunVerification(benchmark::State& state, const Workload& w) {
   state.counters["antichain_peak"] =
       static_cast<double>(stats.antichain_peak);
   state.counters["cover_edges"] = static_cast<double>(stats.cover_edges);
+  state.counters["antichain_probes"] =
+      static_cast<double>(stats.antichain_probes);
+  state.counters["antichain_skipped_by_summary"] =
+      static_cast<double>(stats.antichain_skipped_by_summary);
   // Always 0 since lasso analysis runs on the pruned graph itself;
   // scripts/check_bench_counters.py fails the gate if it ever revives.
   state.counters["full_graph_builds"] =

@@ -48,6 +48,14 @@ void RunVerification(benchmark::State& state, const Workload& w) {
       static_cast<double>(stats.product_states);
   state.counters["pooled_types"] = static_cast<double>(stats.pooled_types);
   state.counters["cover_edges"] = static_cast<double>(stats.cover_edges);
+  // Antichain probes happen only in the serial replay of the
+  // sequential decision order, so the probe counters are shard-count-
+  // invariant too — the --exact gate on these rows is what proves it
+  // in CI.
+  state.counters["antichain_probes"] =
+      static_cast<double>(stats.antichain_probes);
+  state.counters["antichain_skipped_by_summary"] =
+      static_cast<double>(stats.antichain_skipped_by_summary);
   state.counters["full_graph_builds"] =
       static_cast<double>(stats.full_graph_builds);
 }

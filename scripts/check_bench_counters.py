@@ -27,7 +27,9 @@ import argparse
 import json
 import sys
 
-# Counters that measure work: growth is a regression.
+# Counters that measure work: growth is a regression. Counters absent
+# from a benchmark's baseline row are skipped, so per-family counters
+# (e.g. bench_marking's kernel-semantics counts) live here too.
 GATED = [
     "cov_nodes",
     "cov_edges",
@@ -35,6 +37,17 @@ GATED = [
     "pooled_types",
     "cover_edges",
     "counter_dims",
+    # Antichain entries examined by domination probes: the dominance
+    # kernel's work count. Shard-count-invariant (probes replay the
+    # sequential decision order), so the sharded --exact gate doubles
+    # as the probe-determinism check.
+    "antichain_probes",
+    # bench_marking kernel-semantics counts: the number of ≤ pairs and
+    # of summary-filter survivors over a fixed-seed random corpus.
+    # Gated with --exact in CI, so the scalar and SIMD kernel builds
+    # must both reproduce them bit-for-bit.
+    "leq_true",
+    "summary_pass",
 ]
 # Counters that must be EXACTLY ZERO in every run: lasso analysis runs
 # on the pruned graph itself (via cover-edges), so a single full-graph
@@ -49,6 +62,9 @@ INFORMATIONAL = [
     "pruned_successors",
     "deactivated_nodes",
     "antichain_peak",
+    # Probes resolved by the support-summary prefilter alone: more
+    # skips is good news, so drift is surfaced, not gated.
+    "antichain_skipped_by_summary",
 ]
 
 

@@ -209,6 +209,9 @@ void RtEngine::ComputeEntry(const RtQueryKey& key,
     stats_.antichain_peak =
         std::max(stats_.antichain_peak, entry->graph->antichain_peak());
     stats_.cover_edges += entry->graph->cover_edges();
+    stats_.antichain_probes += entry->graph->antichain_probes();
+    stats_.antichain_skipped_by_summary +=
+        entry->graph->antichain_skipped_by_summary();
     stats_.truncated = stats_.truncated || entry->graph->truncated() ||
                        entry->vass->truncated() || lasso_unresolved;
   }

@@ -47,6 +47,12 @@ struct RtStats {
   size_t deactivated_nodes = 0;
   size_t antichain_peak = 0;
   size_t cover_edges = 0;
+  /// Antichain probe accounting (deterministic, shard-count-
+  /// invariant): entries examined by domination probes, and how many
+  /// of those the per-dimension-group support summary resolved without
+  /// touching the marking payload (vass/marking.h).
+  size_t antichain_probes = 0;
+  size_t antichain_skipped_by_summary = 0;
   /// Queries that fell back to rebuilding a full (unpruned) graph for
   /// lasso analysis. Lasso search runs on the pruned graph itself via
   /// its cover-edges, so this is ALWAYS 0 now; the counter is kept as

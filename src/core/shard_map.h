@@ -24,8 +24,12 @@ class ShardMap {
 
   /// Owner shard of the node key (state, marking). Markings arrive in
   /// canonical form (trailing zeros stripped), so equal nodes hash
-  /// identically.
-  int ShardOf(int state, const std::vector<int64_t>& marking) const {
+  /// identically. Accepts any int64 range — an owning std::vector or a
+  /// packed MarkingView — and hashes content-identically for both, so
+  /// routing a candidate's owned marking and re-routing its interned
+  /// arena view agree on the owner.
+  template <typename Marking>
+  int ShardOf(int state, const Marking& marking) const {
     size_t seed = static_cast<size_t>(state);
     for (int64_t v : marking) HashMix(&seed, v);
     // Fold the high bits in: the bucket maps downstream consume the low

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cassert>
 #include <deque>
 #include <memory>
 #include <thread>
@@ -40,7 +41,7 @@ bool CandidateRankLess(const Candidate& a, const Candidate& b) {
 KarpMiller::KarpMiller(VassSystem* system, KarpMillerOptions options)
     : system_(system), options_(options) {}
 
-int KarpMiller::InternNode(int state, std::vector<int64_t> marking,
+int KarpMiller::InternNode(int state, const std::vector<int64_t>& marking,
                            int parent, int64_t parent_label, bool* created) {
   auto key = std::make_pair(state, marking);
   auto it = index_.find(key);
@@ -50,12 +51,12 @@ int KarpMiller::InternNode(int state, std::vector<int64_t> marking,
   }
   Node node;
   node.state = state;
-  node.marking = std::move(marking);
+  node.marking = marking_arena_.Add(marking);
   node.parent = parent;
   node.parent_label = parent_label;
   int id = static_cast<int>(nodes_.size());
   nodes_.push_back(std::move(node));
-  index_[key] = id;
+  index_[std::move(key)] = id;
   *created = true;
   return id;
 }
@@ -63,8 +64,10 @@ int KarpMiller::InternNode(int state, std::vector<int64_t> marking,
 bool KarpMiller::SuccessorMarking(int parent_node, int target,
                                   const Delta& delta,
                                   std::vector<int64_t>* out) const {
-  std::vector<int64_t> next;
-  if (!marking::Apply(nodes_[parent_node].marking, delta, &next)) {
+  // Sparse apply: enabledness is decided from the delta'd dimensions
+  // alone (a disabled transition never materializes a next-vector),
+  // then one copy at the final width. `*out` leaves in canonical form.
+  if (!marking::ApplyView(nodes_[parent_node].marking, delta, out)) {
     return false;
   }
   // ω-acceleration along the spanning-tree ancestry: if an ancestor
@@ -72,49 +75,61 @@ bool KarpMiller::SuccessorMarking(int parent_node, int target,
   // strictly increased coordinates can be pumped arbitrarily. The
   // ancestry consists of finalized nodes only (a node's ancestors are
   // strictly older), so concurrent workers may run this freely.
+  std::vector<int64_t>& next = *out;
   bool accelerated = true;
   while (accelerated) {
     accelerated = false;
     for (int a = parent_node; a != -1; a = nodes_[a].parent) {
       if (nodes_[a].state != target) continue;
-      const std::vector<int64_t>& am = nodes_[a].marking;
-      if (!marking::LessEq(am, next) || marking::Equal(am, next)) {
-        continue;
-      }
-      size_t dims = std::max(am.size(), next.size());
-      for (size_t d = 0; d < dims; ++d) {
-        int64_t av = marking::Get(am, static_cast<int>(d));
-        int64_t nv = marking::Get(next, static_cast<int>(d));
-        if (av < nv && nv != kOmega) {
-          marking::Set(&next, static_cast<int>(d), kOmega);
+      const MarkingView am = nodes_[a].marking;
+      const MarkingView nv(next.data(), next.size());
+      if (!DominanceLeq(am, nv) || am == nv) continue;
+      // Writing ω hits dimensions where am < next, hence next > 0 —
+      // always within next's canonical width, never a trailing zero:
+      // `next` stays canonical through the acceleration.
+      for (size_t d = 0; d < next.size(); ++d) {
+        const int64_t av = d < am.size() ? am[d] : 0;
+        if (av < next[d] && next[d] != kOmega) {
+          next[d] = kOmega;
           accelerated = true;
         }
       }
     }
   }
-  while (!next.empty() && next.back() == 0) next.pop_back();
-  *out = std::move(next);
+  assert(next.empty() || next.back() != 0);
   return true;
 }
 
-int KarpMiller::DominatorOf(int state,
-                            const std::vector<int64_t>& marking) const {
+int KarpMiller::DominatorOf(int state, const MarkingView& marking) {
   auto it = antichain_.find(state);
   if (it == antichain_.end()) return -1;
-  for (int a : it->second) {
-    if (marking::LessEq(marking, nodes_[a].marking)) return a;
+  const Antichain& chain = it->second;
+  const uint64_t summary = SupportSummary(marking);
+  for (size_t i = 0; i < chain.nodes.size(); ++i) {
+    ++antichain_probes_;
+    if (!SummaryMayDominate(summary, chain.summaries[i])) {
+      ++antichain_skipped_by_summary_;
+      continue;
+    }
+    if (DominanceLeq(marking, nodes_[chain.nodes[i]].marking)) {
+      return chain.nodes[i];
+    }
   }
   return -1;
 }
 
 void KarpMiller::AntichainAbsorb(int node) {
-  std::vector<int>& chain = antichain_[nodes_[node].state];
-  const std::vector<int64_t>& m = nodes_[node].marking;
+  Antichain& chain = antichain_[nodes_[node].state];
+  const MarkingView m = nodes_[node].marking;
+  const uint64_t msum = SupportSummary(m);
   // Entries ≤ m are strictly covered (an entry equal to m would have
-  // dominated the candidate before it was interned).
-  for (size_t i = 0; i < chain.size();) {
-    if (marking::LessEq(nodes_[chain[i]].marking, m)) {
-      int victim = chain[i];
+  // dominated the candidate before it was interned). The summary
+  // filter runs in the covering direction here: entry ≤ m needs the
+  // ENTRY's support contained in m's.
+  for (size_t i = 0; i < chain.nodes.size();) {
+    if (SummaryMayDominate(chain.summaries[i], msum) &&
+        DominanceLeq(nodes_[chain.nodes[i]].marking, m)) {
+      int victim = chain.nodes[i];
       if (static_cast<size_t>(victim) >= round_first_new_id_) {
         // A same-round newcomer: unexpanded, so deactivation cuts its
         // entire would-be subtree. Older covered entries are either
@@ -132,14 +147,17 @@ void KarpMiller::AntichainAbsorb(int node) {
             Edge{node, -1, {}, /*cover=*/true});
         ++cover_edges_;
       }
-      chain[i] = chain.back();
-      chain.pop_back();
+      chain.nodes[i] = chain.nodes.back();
+      chain.nodes.pop_back();
+      chain.summaries[i] = chain.summaries.back();
+      chain.summaries.pop_back();
     } else {
       ++i;
     }
   }
-  chain.push_back(node);
-  antichain_peak_ = std::max(antichain_peak_, chain.size());
+  chain.nodes.push_back(node);
+  chain.summaries.push_back(msum);
+  antichain_peak_ = std::max(antichain_peak_, chain.nodes.size());
 }
 
 KarpMiller::CacheEntry* KarpMiller::PinCached(int state, size_t round) {
@@ -209,12 +227,12 @@ void KarpMiller::BuildSequential(const std::vector<int>& initial_states) {
   // exact-match index_ could never hit — maintaining it would be a
   // dead marking-vector copy per node (the sharded merge skips its
   // shard indexes for the same reason).
-  auto make_node = [&](int state, std::vector<int64_t> marking, int parent,
-                       int64_t parent_label) {
+  auto make_node = [&](int state, const std::vector<int64_t>& marking,
+                       int parent, int64_t parent_label) {
     int id = static_cast<int>(nodes_.size());
     Node node;
     node.state = state;
-    node.marking = std::move(marking);
+    node.marking = marking_arena_.Add(marking);
     node.parent = parent;
     node.parent_label = parent_label;
     nodes_.push_back(std::move(node));
@@ -225,7 +243,7 @@ void KarpMiller::BuildSequential(const std::vector<int>& initial_states) {
   for (int s : initial_states) {
     int id;
     if (prune) {
-      if (DominatorOf(s, {}) >= 0) continue;  // duplicate root state
+      if (DominatorOf(s, MarkingView()) >= 0) continue;  // duplicate root
       id = make_node(s, {}, -1, -1);
       round.resize(nodes_.size(), 0);
     } else {
@@ -237,6 +255,10 @@ void KarpMiller::BuildSequential(const std::vector<int>& initial_states) {
   }
   size_t step = 0;
   int cur_round = -1;
+  // Successor-marking scratch, reused across all candidates: the
+  // surviving value is copied into the arena, so nothing here needs an
+  // owning vector per candidate.
+  std::vector<int64_t> next;
   while (!worklist.empty()) {
     if (nodes_.size() > options_.max_nodes) {
       truncated_ = true;
@@ -260,10 +282,9 @@ void KarpMiller::BuildSequential(const std::vector<int>& initial_states) {
         state, ++step,
         [&](std::vector<VassEdge>* edges) { system_->Successors(state, edges); });
     for (const VassEdge& e : out) {
-      std::vector<int64_t> next;
       if (!SuccessorMarking(n, e.target, e.delta, &next)) continue;
       if (prune) {
-        int dom = DominatorOf(e.target, next);
+        int dom = DominatorOf(e.target, MarkingView(next));
         if (dom >= 0) {
           // Dropped successor: keep the transition as a cover-edge to
           // the dominating node — the action is real, only its target
@@ -274,14 +295,14 @@ void KarpMiller::BuildSequential(const std::vector<int>& initial_states) {
           ++pruned_successors_;
           continue;
         }
-        int child = make_node(e.target, std::move(next), n, e.label);
+        int child = make_node(e.target, next, n, e.label);
         round.resize(nodes_.size(), cur_round + 1);
         nodes_[n].edges.push_back(Edge{child, e.label, e.delta});
         worklist.push_back(child);
         continue;
       }
       bool created = false;
-      int child = InternNode(e.target, std::move(next), n, e.label, &created);
+      int child = InternNode(e.target, next, n, e.label, &created);
       nodes_[n].edges.push_back(Edge{child, e.label, e.delta});
       if (created) worklist.push_back(child);
     }
@@ -335,20 +356,28 @@ void KarpMiller::BuildSharded(const std::vector<int>& initial_states) {
       std::vector<CandidateBatch>(static_cast<size_t>(num_shards)));
 
   // Seed roots exactly like the sequential explorer; equal keys always
-  // land in one shard, so per-shard dedup is global dedup.
+  // land in one shard, so per-shard dedup is global dedup. Pruned
+  // builds dedup through the antichain (same call the sequential
+  // explorer makes, keeping the probe counters shard-count-invariant);
+  // the per-shard indexes are unused under pruning.
   for (int st : initial_states) {
     NodeKey key{st, {}};
     Shard& owner = shards[shard_map.ShardOf(st, key.second)];
-    if (owner.index.find(key) != owner.index.end()) continue;
+    if (prune) {
+      if (DominatorOf(st, MarkingView()) >= 0) continue;  // duplicate root
+    } else if (owner.index.find(key) != owner.index.end()) {
+      continue;
+    }
     int id = static_cast<int>(nodes_.size());
     Node node;
     node.state = st;
     nodes_.push_back(std::move(node));
     owner.frontier.push_back(id);
-    owner.index.emplace(std::move(key), id);
     if (prune) {
       deactivated_.resize(nodes_.size(), 0);
       AntichainAbsorb(id);
+    } else {
+      owner.index.emplace(std::move(key), id);
     }
   }
 
@@ -633,7 +662,7 @@ void KarpMiller::BuildSharded(const std::vector<int>& initial_states) {
         // antichain's dominator at this exact rank — the same target
         // the single-shard build records — and survivors intern +
         // absorb exactly as the single-shard build would.
-        int dom = DominatorOf(c.target_state, c.marking);
+        int dom = DominatorOf(c.target_state, MarkingView(c.marking));
         if (dom >= 0) {
           nodes_[c.parent].edges.push_back(Edge{dom, c.label,
                                                 std::move(c.delta),
@@ -645,7 +674,7 @@ void KarpMiller::BuildSharded(const std::vector<int>& initial_states) {
         int id = static_cast<int>(nodes_.size());
         Node node;
         node.state = c.target_state;
-        node.marking = std::move(c.marking);
+        node.marking = marking_arena_.Add(c.marking);
         node.parent = c.parent;
         node.parent_label = c.label;
         nodes_.push_back(std::move(node));
@@ -666,7 +695,7 @@ void KarpMiller::BuildSharded(const std::vector<int>& initial_states) {
           final_id = static_cast<int>(nodes_.size());
           Node node;
           node.state = c.target_state;
-          node.marking = std::move(c.marking);
+          node.marking = marking_arena_.Add(c.marking);
           node.parent = c.parent;
           node.parent_label = c.label;
           nodes_.push_back(std::move(node));

@@ -101,9 +101,10 @@ class KarpMiller {
   bool truncated() const { return truncated_; }
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
   int node_state(int n) const { return nodes_[n].state; }
-  const std::vector<int64_t>& node_marking(int n) const {
-    return nodes_[n].marking;
-  }
+  /// Packed view of node n's marking. Payloads live in the graph's
+  /// arena (struct-of-arrays, appended in node-creation order — see
+  /// vass/marking.h); the view is valid for the graph's lifetime.
+  MarkingView node_marking(int n) const { return nodes_[n].marking; }
 
   /// A coverability-graph edge. Keeps the raw action delta: closed-walk
   /// effects on ω-coordinates are not recoverable from the markings.
@@ -158,6 +159,19 @@ class KarpMiller {
   /// Cover-edges recorded at the prune points (one per dropped
   /// successor plus one per retired node; included in TotalEdges).
   size_t cover_edges() const { return cover_edges_; }
+  /// Antichain entries examined across all domination probes
+  /// (DominatorOf walks; deterministic — probes happen only in serial
+  /// code replaying the sequential decision order, so the count is
+  /// identical at every shard count).
+  size_t antichain_probes() const { return antichain_probes_; }
+  /// Probed entries resolved by the per-dimension-group support
+  /// summary alone — the marking payload was never touched. The
+  /// summary filter is a sound necessary condition (miss ⇒ dominance
+  /// impossible; vass/marking.h), so skipping never changes the
+  /// dominator decision and the graph stays node-identical.
+  size_t antichain_skipped_by_summary() const {
+    return antichain_skipped_by_summary_;
+  }
   /// Whether node n was deactivated (always false without pruning).
   bool node_deactivated(int n) const {
     return static_cast<size_t>(n) < deactivated_.size() &&
@@ -167,7 +181,8 @@ class KarpMiller {
  private:
   struct Node {
     int state = -1;
-    std::vector<int64_t> marking;
+    /// Packed payload in marking_arena_ (canonical form).
+    MarkingView marking;
     int parent = -1;          // spanning-tree parent
     int64_t parent_label = -1;
     std::vector<Edge> edges;
@@ -186,7 +201,7 @@ class KarpMiller {
     size_t pinned_round = 0;
   };
 
-  int InternNode(int state, std::vector<int64_t> marking, int parent,
+  int InternNode(int state, const std::vector<int64_t>& marking, int parent,
                  int64_t parent_label, bool* created);
 
   void BuildSequential(const std::vector<int>& initial_states);
@@ -216,8 +231,14 @@ class KarpMiller {
   /// `marking` (ω-aware, 0-padded compare); -1 if none. The chain-order
   /// "first" is deterministic because the antichain is mutated only by
   /// serial code replaying the sequential decision order, so the cover-
-  /// edge target it yields is identical at every shard count.
-  int DominatorOf(int state, const std::vector<int64_t>& marking) const;
+  /// edge target it yields is identical at every shard count. The walk
+  /// is summary-filter-then-verify: entries whose support summary
+  /// already rules out dominance are skipped without touching their
+  /// marking payload (counted in antichain_skipped_by_summary_); the
+  /// filter is a necessary condition, so the first verified dominator
+  /// is the same entry the unfiltered scan would return. Non-const for
+  /// the probe accounting.
+  int DominatorOf(int state, const MarkingView& marking);
 
   /// Inserts freshly interned `node` into its state's antichain and
   /// retires every entry its marking strictly covers. Retired entries
@@ -230,6 +251,10 @@ class KarpMiller {
   VassSystem* system_;
   KarpMillerOptions options_;
   std::vector<Node> nodes_;
+  /// Packed marking payloads, appended in node-creation order (a
+  /// node's marking is adjacent to its round neighbours — the entries
+  /// antichain probes walk together).
+  MarkingArena marking_arena_;
   std::unordered_map<NodeKey, int, IdVectorHash> index_;
   std::unordered_map<int, CacheEntry> succ_cache_;
   std::list<int> lru_;  // front = most recently used state
@@ -242,10 +267,18 @@ class KarpMiller {
   bool truncated_ = false;
 
   // --- antichain pruning state (prune_coverability only) ---------------
-  /// VASS state -> node ids whose markings are the state's maximal
-  /// active markings (pairwise incomparable). Frozen during concurrent
-  /// phases; mutated only by serial code.
-  std::unordered_map<int, std::vector<int>> antichain_;
+  /// One state's antichain, struct-of-arrays: entry node ids parallel
+  /// to their support summaries, so the summary filter scans a dense
+  /// uint64 array and only verified-plausible entries dereference a
+  /// marking payload.
+  struct Antichain {
+    std::vector<int> nodes;
+    std::vector<uint64_t> summaries;
+  };
+  /// VASS state -> the state's maximal active markings (pairwise
+  /// incomparable). Frozen during concurrent phases; mutated only by
+  /// serial code.
+  std::unordered_map<int, Antichain> antichain_;
   /// Per node: retired before expansion (parallel to nodes_).
   std::vector<char> deactivated_;
   /// First node id of the current round's newcomers: entries at or
@@ -262,6 +295,8 @@ class KarpMiller {
   size_t deactivated_count_ = 0;
   size_t antichain_peak_ = 0;
   size_t cover_edges_ = 0;
+  size_t antichain_probes_ = 0;
+  size_t antichain_skipped_by_summary_ = 0;
 };
 
 }  // namespace has

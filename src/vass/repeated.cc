@@ -67,7 +67,7 @@ std::vector<int> ComputeSccs(const KarpMiller& g, int* num_sccs) {
   return scc;
 }
 
-std::vector<int> OmegaDims(const std::vector<int64_t>& marking) {
+std::vector<int> OmegaDims(const MarkingView& marking) {
   std::vector<int> out;
   for (size_t d = 0; d < marking.size(); ++d) {
     if (marking[d] == kOmega) out.push_back(static_cast<int>(d));
@@ -96,7 +96,7 @@ struct TrackedDims {
 TrackedDims PartitionTrackedDims(const KarpMiller& g,
                                  const std::vector<int>& touched,
                                  int start) {
-  const std::vector<int64_t>& m = g.node_marking(start);
+  const MarkingView m = g.node_marking(start);
   TrackedDims out;
   for (int d : touched) {
     if (marking::Get(m, d) == kOmega) {

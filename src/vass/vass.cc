@@ -1,9 +1,6 @@
 #include "vass/vass.h"
 
-#include <algorithm>
-
 #include "common/status.h"
-#include "common/strings.h"
 
 namespace has {
 
@@ -23,61 +20,5 @@ int64_t ExplicitVass::AddAction(int from, Delta delta, int to) {
 void ExplicitVass::Successors(int state, std::vector<VassEdge>* out) {
   out->insert(out->end(), adj_[state].begin(), adj_[state].end());
 }
-
-namespace marking {
-
-int64_t Get(const std::vector<int64_t>& m, int d) {
-  return d < static_cast<int>(m.size()) ? m[d] : 0;
-}
-
-void Set(std::vector<int64_t>* m, int d, int64_t v) {
-  if (d >= static_cast<int>(m->size())) m->resize(d + 1, 0);
-  (*m)[d] = v;
-}
-
-bool Apply(const std::vector<int64_t>& m, const Delta& delta,
-           std::vector<int64_t>* out) {
-  *out = m;
-  for (const auto& [d, change] : delta) {
-    int64_t cur = Get(*out, d);
-    if (cur == kOmega) continue;
-    int64_t next = cur + change;
-    if (next < 0) return false;
-    Set(out, d, next);
-  }
-  // Trim trailing zeros so equal markings compare equal structurally.
-  while (!out->empty() && out->back() == 0) out->pop_back();
-  return true;
-}
-
-bool LessEq(const std::vector<int64_t>& a, const std::vector<int64_t>& b) {
-  size_t n = std::max(a.size(), b.size());
-  for (size_t d = 0; d < n; ++d) {
-    int64_t av = Get(a, static_cast<int>(d));
-    int64_t bv = Get(b, static_cast<int>(d));
-    if (bv == kOmega) continue;
-    if (av == kOmega) return false;
-    if (av > bv) return false;
-  }
-  return true;
-}
-
-bool Equal(const std::vector<int64_t>& a, const std::vector<int64_t>& b) {
-  size_t n = std::max(a.size(), b.size());
-  for (size_t d = 0; d < n; ++d) {
-    if (Get(a, static_cast<int>(d)) != Get(b, static_cast<int>(d))) {
-      return false;
-    }
-  }
-  return true;
-}
-
-std::string ToString(const std::vector<int64_t>& m) {
-  std::vector<std::string> parts;
-  for (int64_t v : m) parts.push_back(v == kOmega ? "w" : StrCat(v));
-  return StrCat("(", StrJoin(parts, ","), ")");
-}
-
-}  // namespace marking
 
 }  // namespace has

@@ -4,25 +4,23 @@
 // explicit adjacency-list implementation is provided for tests and for
 // the undecidability-encoding example.
 //
-// Markings are vectors of int64 counters; the sentinel kOmega denotes
-// the accelerated "arbitrarily large" value of Karp–Miller trees.
+// Markings are packed vectors of int64 counters (vass/marking.h: the
+// canonical trailing-zero-stripped representation, the arena, and the
+// vectorized dominance kernel); the sentinel kOmega denotes the
+// accelerated "arbitrarily large" value of Karp–Miller trees.
 // Dimensions are allowed to grow during exploration (the verifier
-// allocates a counter per newly discovered TS-isomorphism type);
+// allocates a counter per newly discovered (relation, TS-type) pair);
 // missing trailing coordinates read as 0.
 #ifndef HAS_VASS_VASS_H_
 #define HAS_VASS_VASS_H_
 
 #include <cstdint>
 #include <memory>
-#include <string>
 #include <vector>
 
+#include "vass/marking.h"
+
 namespace has {
-
-inline constexpr int64_t kOmega = INT64_MAX;
-
-/// A sparse delta: list of (dimension, change) pairs.
-using Delta = std::vector<std::pair<int, int64_t>>;
 
 /// An outgoing edge of a VASS state. `label` is an opaque tag the
 /// caller uses to reconstruct what the transition meant (the verifier
@@ -101,22 +99,6 @@ class ExplicitVass : public VassSystem {
  private:
   std::vector<std::vector<VassEdge>> adj_;
 };
-
-/// Markings with ω, 0-padded comparison and addition helpers.
-namespace marking {
-
-/// m[d], treating out-of-range as 0.
-int64_t Get(const std::vector<int64_t>& m, int d);
-void Set(std::vector<int64_t>* m, int d, int64_t v);
-/// m + delta; returns false if any non-ω coordinate would go negative.
-bool Apply(const std::vector<int64_t>& m, const Delta& delta,
-           std::vector<int64_t>* out);
-/// Component-wise a ≤ b (ω is the top element).
-bool LessEq(const std::vector<int64_t>& a, const std::vector<int64_t>& b);
-bool Equal(const std::vector<int64_t>& a, const std::vector<int64_t>& b);
-std::string ToString(const std::vector<int64_t>& m);
-
-}  // namespace marking
 
 }  // namespace has
 
