@@ -11,11 +11,13 @@
 // informational (1-vCPU recording host — see ROADMAP).
 #include <benchmark/benchmark.h>
 
+#include "bench_options.h"
 #include "core/verifier.h"
 #include "workloads.h"
 
 namespace {
 
+using has::bench::ApplyCommonOptions;
 using has::bench::MakeMultiRelation;
 using has::bench::Workload;
 
@@ -23,7 +25,7 @@ void RunVerification(benchmark::State& state, const Workload& w) {
   has::RtStats stats;
   size_t states = 0;
   for (auto _ : state) {
-    has::VerifierOptions options;
+    has::VerifierOptions options = ApplyCommonOptions();
     has::VerifyResult result = has::Verify(w.system, w.property, options);
     benchmark::DoNotOptimize(result.verdict);
     stats = result.stats;
@@ -44,6 +46,10 @@ void RunVerification(benchmark::State& state, const Workload& w) {
       static_cast<double>(stats.antichain_probes);
   state.counters["antichain_skipped_by_summary"] =
       static_cast<double>(stats.antichain_skipped_by_summary);
+  state.counters["ample_reduced_successors"] =
+      static_cast<double>(stats.ample_reduced_successors);
+  state.counters["ample_full_expansions"] =
+      static_cast<double>(stats.ample_full_expansions);
   state.counters["full_graph_builds"] =
       static_cast<double>(stats.full_graph_builds);
 }

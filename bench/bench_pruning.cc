@@ -12,11 +12,14 @@
 // host has 1 vCPU — see ROADMAP).
 #include <benchmark/benchmark.h>
 
+#include "bench_options.h"
 #include "core/verifier.h"
 #include "workloads.h"
 
 namespace {
 
+using has::bench::ApplyCommonOptions;
+using has::bench::BenchToggles;
 using has::bench::MakeAdversarialCyclic;
 using has::bench::MakeDeepHierarchy;
 using has::bench::MakeMultiSet;
@@ -28,8 +31,9 @@ void RunVerification(benchmark::State& state, const Workload& w) {
   has::RtStats stats;
   size_t states = 0;
   for (auto _ : state) {
-    has::VerifierOptions options;
-    options.prune_coverability = prune;
+    BenchToggles toggles;
+    toggles.prune_coverability = prune;
+    has::VerifierOptions options = ApplyCommonOptions(toggles);
     has::VerifyResult result = has::Verify(w.system, w.property, options);
     benchmark::DoNotOptimize(result.verdict);
     stats = result.stats;
@@ -56,6 +60,10 @@ void RunVerification(benchmark::State& state, const Workload& w) {
       static_cast<double>(stats.antichain_probes);
   state.counters["antichain_skipped_by_summary"] =
       static_cast<double>(stats.antichain_skipped_by_summary);
+  state.counters["ample_reduced_successors"] =
+      static_cast<double>(stats.ample_reduced_successors);
+  state.counters["ample_full_expansions"] =
+      static_cast<double>(stats.ample_full_expansions);
   // Always 0 since lasso analysis runs on the pruned graph itself;
   // scripts/check_bench_counters.py fails the gate if it ever revives.
   state.counters["full_graph_builds"] =

@@ -10,11 +10,14 @@
 // recording host's core count — speedups need real cores).
 #include <benchmark/benchmark.h>
 
+#include "bench_options.h"
 #include "core/verifier.h"
 #include "workloads.h"
 
 namespace {
 
+using has::bench::ApplyCommonOptions;
+using has::bench::BenchToggles;
 using has::bench::MakeAdversarialCyclic;
 using has::bench::MakeDeepHierarchy;
 using has::bench::MakeWorkload;
@@ -26,8 +29,9 @@ void RunVerification(benchmark::State& state, const Workload& w) {
   bool violated = false;
   has::RtStats stats;
   for (auto _ : state) {
-    has::VerifierOptions options;
-    options.num_shards = num_shards;
+    BenchToggles toggles;
+    toggles.num_shards = num_shards;
+    has::VerifierOptions options = ApplyCommonOptions(toggles);
     has::VerifyResult result = has::Verify(w.system, w.property, options);
     violated = result.verdict == has::Verdict::kViolated;
     benchmark::DoNotOptimize(violated);
@@ -56,6 +60,12 @@ void RunVerification(benchmark::State& state, const Workload& w) {
       static_cast<double>(stats.antichain_probes);
   state.counters["antichain_skipped_by_summary"] =
       static_cast<double>(stats.antichain_skipped_by_summary);
+  // The ample-prefix replay runs in the same serial walk, so the
+  // POR counters share that shard-count invariance.
+  state.counters["ample_reduced_successors"] =
+      static_cast<double>(stats.ample_reduced_successors);
+  state.counters["ample_full_expansions"] =
+      static_cast<double>(stats.ample_full_expansions);
   state.counters["full_graph_builds"] =
       static_cast<double>(stats.full_graph_builds);
 }

@@ -288,6 +288,80 @@ Workload MakeMultiRelation(int size, int depth, int num_rels) {
   return w;
 }
 
+Workload MakeCommutingServices(int width, int depth) {
+  if (width < 1) width = 1;
+  if (depth < 1) depth = 1;
+  Workload w;
+  w.system.schema() = AcyclicSchema(std::max(width, 2));
+  w.name = StrCat("commuting/w", width, "/h", depth);
+
+  TaskId prev = kNoTask;
+  for (int level = 0; level < depth; ++level) {
+    TaskId t = w.system.AddTask(StrCat("T", level), prev);
+    Task& task = w.system.task(t);
+    int x = task.vars().AddVar("x", VarSort::kId);
+    int amount = task.vars().AddVar("amount", VarSort::kNumeric);
+    if (level > 0) {
+      task.AddInput(x, /*parent x=*/0);
+      task.AddOutput(/*parent amount=*/1, amount);
+      task.SetOpeningPre(Condition::Not(Condition::IsNull(0)));
+      LinearExpr close_e = LinearExpr::Var(amount);
+      close_e.AddConstant(Rational(-1));
+      task.SetClosingPre(
+          Condition::Arith(LinearConstraint{close_e, Relop::kEq}));
+    }
+    // The work service drives the amount flag the property watches; it
+    // inserts nothing, so it is never ample and keeps every state's
+    // expansion honest.
+    {
+      InternalService work;
+      work.name = "work";
+      work.pre = Condition::True();
+      LinearExpr post_e = LinearExpr::Var(amount);
+      post_e.AddConstant(Rational(-1));
+      work.post = Condition::And(
+          Condition::Rel(0, {x, task.vars().AddVar("f0", VarSort::kId)}),
+          Condition::Arith(LinearConstraint{post_e, Relop::kEq}));
+      task.AddInternalService(std::move(work));
+    }
+    // `width` insert-only stores over pairwise-disjoint relations and
+    // variables: every pair commutes, and each store's post-condition
+    // (True) holds everywhere, so each is a valid ample choice at any
+    // state where it is enabled.
+    for (int j = 0; j < width; ++j) {
+      int sj = task.vars().AddVar(StrCat("s", j), VarSort::kId);
+      int rel = task.AddSetRelation(StrCat("A", j), {sj});
+      InternalService store;
+      store.name = StrCat("store", j);
+      store.pre = Condition::Not(Condition::IsNull(sj));
+      store.post = Condition::True();
+      store.MarkInsert(rel);
+      task.AddInternalService(std::move(store));
+    }
+    prev = t;
+  }
+
+  for (int level = 0; level < depth; ++level) {
+    HltlNode node;
+    node.task = level;
+    if (level < depth - 1) {
+      node.props.push_back(HltlProp::Child(level + 1));
+    } else {
+      LinearExpr e = LinearExpr::Var(1);  // amount
+      e.AddConstant(Rational(-1));
+      node.props.push_back(HltlProp::Cond(
+          Condition::Arith(LinearConstraint{std::move(e), Relop::kEq})));
+    }
+    LtlPtr body = LtlFormula::Eventually(LtlFormula::Prop(0));
+    if (level == 0) {
+      body = LtlFormula::Always(LtlFormula::Not(LtlFormula::Prop(0)));
+    }
+    node.skeleton = std::move(body);
+    w.property.AddNode(std::move(node));
+  }
+  return w;
+}
+
 Workload MakeWorkload(SchemaClass schema_class, int size, int depth,
                       bool with_sets, bool with_arith) {
   Workload w;

@@ -69,6 +69,18 @@ Workload MakeMultiSet(int size, int depth, int set_width);
 /// width of a single group).
 Workload MakeMultiRelation(int size, int depth, int num_rels);
 
+/// Commuting-services family (the partial-order-reduction showcase):
+/// every task declares `width` artifact relations, each with ONE
+/// insert-only store service over its own ID variable — pairwise
+/// disjoint footprints, so all stores commute and every one is
+/// statically ample-eligible (insert-only, unobserved by the property).
+/// Without reduction the per-state fan-out grows with `width`; with
+/// VerifierOptions::por the explorer follows a single store per state
+/// until the inserts saturate, collapsing the interleaving lattice to
+/// one diagonal. The retrieve-free design is deliberate: it isolates
+/// the reduction from the antichain-pruning effects retrieves trigger.
+Workload MakeCommutingServices(int width, int depth);
+
 }  // namespace bench
 }  // namespace has
 

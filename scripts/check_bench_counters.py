@@ -48,6 +48,15 @@ GATED = [
     # must both reproduce them bit-for-bit.
     "leq_true",
     "summary_pass",
+    # Successors the ample-prefix partial-order reduction never
+    # generated. Deterministic and shard-count-invariant (the reduction
+    # replays the sequential decision order in the sharded merge), so
+    # any unexplained drift is a bug: growth fails outright, shrink
+    # fails under --exact and otherwise surfaces as a note next to the
+    # cov_nodes growth it usually causes. Absent from pre-POR baseline
+    # rows (the *_por_off.json differential baselines), which the
+    # counter-skip rule below handles.
+    "ample_reduced_successors",
 ]
 # Counters that must be EXACTLY ZERO in every run: lasso analysis runs
 # on the pruned graph itself (via cover-edges), so a single full-graph
@@ -65,6 +74,11 @@ INFORMATIONAL = [
     # Probes resolved by the support-summary prefilter alone: more
     # skips is good news, so drift is surfaced, not gated.
     "antichain_skipped_by_summary",
+    # Ample attempts that reverted to full expansion because a prefix
+    # successor folded into an existing/dominated node (C3). The revert
+    # is part of the deterministic replay, but the count tracks fold
+    # timing rather than work done, so it is surfaced, not gated.
+    "ample_full_expansions",
 ]
 
 

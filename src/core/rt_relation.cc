@@ -116,6 +116,7 @@ void RtEngine::ComputeEntry(const RtQueryKey& key,
   km_options.max_nodes = options_.max_cov_nodes;
   km_options.succ_cache_capacity = options_.succ_cache_capacity;
   km_options.prune_coverability = options_.prune_coverability;
+  km_options.por = options_.por;
   // Take the shard token if free: the outermost in-flight exploration
   // gets the worker team; nested child builds (reached from its
   // workers) run sequential instead of multiplying threads per level.
@@ -212,6 +213,9 @@ void RtEngine::ComputeEntry(const RtQueryKey& key,
     stats_.antichain_probes += entry->graph->antichain_probes();
     stats_.antichain_skipped_by_summary +=
         entry->graph->antichain_skipped_by_summary();
+    stats_.ample_reduced_successors +=
+        entry->graph->ample_reduced_successors();
+    stats_.ample_full_expansions += entry->graph->ample_full_expansions();
     stats_.truncated = stats_.truncated || entry->graph->truncated() ||
                        entry->vass->truncated() || lasso_unresolved;
   }

@@ -53,6 +53,16 @@ struct RtStats {
   /// touching the marking payload (vass/marking.h).
   size_t antichain_probes = 0;
   size_t antichain_skipped_by_summary = 0;
+  /// Partial-order reduction accounting (0 unless VerifierOptions::por):
+  /// successors never generated because an ample prefix covered the
+  /// state (deterministic, shard-count-invariant), and ample attempts
+  /// that reverted to full expansion because NO prefix edge made
+  /// progress — every stutter folded into an antichain entry with an
+  /// EQUAL marking, i.e. the diagonal is saturated (informational: the
+  /// revert itself is deterministic but the count depends on fold
+  /// timing).
+  size_t ample_reduced_successors = 0;
+  size_t ample_full_expansions = 0;
   /// Queries that fell back to rebuilding a full (unpruned) graph for
   /// lasso analysis. Lasso search runs on the pruned graph itself via
   /// its cover-edges, so this is ALWAYS 0 now; the counter is kept as

@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "common/status.h"
+#include "model/independence.h"
 #include "schema/fk_graph.h"
 
 namespace has {
@@ -35,6 +36,16 @@ bool IsEqualityAtom(const Condition& atom) {
   return !(atom.kind() == CondKind::kArith && atom.UsesArithmetic());
 }
 
+/// Whether an LTL skeleton contains a Next operator anywhere. Ample
+/// stutter steps repeat the current letter, which only X can observe —
+/// F/G/U are derived without X (ltl/formula.h), so typical properties
+/// pass.
+bool ContainsNext(const LtlFormula* f) {
+  if (f == nullptr) return false;
+  if (f->kind() == LtlKind::kNext) return true;
+  return ContainsNext(f->left().get()) || ContainsNext(f->right().get());
+}
+
 }  // namespace
 
 TaskContext::TaskContext(const ArtifactSystem* system,
@@ -53,6 +64,7 @@ TaskContext::TaskContext(const ArtifactSystem* system,
     set_vars_.insert(rel.vars.begin(), rel.vars.end());
   }
   CollectAtoms();
+  ComputePor();
   if (basis_ != nullptr) {
     // Preserved polynomials: all of whose variables are numeric inputs.
     std::vector<ArithVar> numeric_inputs;
@@ -139,6 +151,45 @@ void TaskContext::CollectAtoms() {
     }
     eq_atoms_.push_back(atom->MapVars(identity));
   }
+}
+
+void TaskContext::ComputePor() {
+  const Task& t = system_->task(task_);
+  bool x_free = true;
+  if (property_ != nullptr) {
+    for (int node : property_->NodesOfTask(task_)) {
+      const HltlNode& n = property_->node(node);
+      if (ContainsNext(n.skeleton.get())) x_free = false;
+      for (const HltlProp& p : n.props) {
+        if (p.kind == HltlProp::Kind::kService) {
+          por_service_props_.push_back(p.service);
+        }
+      }
+    }
+  }
+  por_service_ok_.assign(t.services().size(), 0);
+  if (!x_free) return;
+  const TaskIndependence independence = TaskIndependence::Analyze(t);
+  for (size_t i = 0; i < t.services().size(); ++i) {
+    // Insert-only footprints are the profitable ample candidates:
+    // their identity stutter strictly grows the marking, so the
+    // diagonal makes progress until ω-acceleration saturates it.
+    // (Zero-delta retrieve-free services would be equally SOUND as
+    // stutters, but measurably hurt: they flip the state's service
+    // component without advancing any counter, adding nodes instead of
+    // collapsing interleavings.)
+    if (!independence.footprint(static_cast<int>(i)).insert_only()) continue;
+    if (PorServiceIsProp(
+            ServiceRef::Internal(task_, static_cast<int>(i)))) {
+      continue;
+    }
+    por_service_ok_[i] = 1;
+  }
+}
+
+bool TaskContext::PorServiceIsProp(const ServiceRef& s) const {
+  return std::find(por_service_props_.begin(), por_service_props_.end(), s) !=
+         por_service_props_.end();
 }
 
 LinearSystem TaskContext::NumericEqualities(const PartialIsoType& iso) const {

@@ -65,6 +65,21 @@ struct VerifierOptions {
   /// shard count, but counterexample TEXT may differ (the graphs find
   /// different — equally valid — witnesses).
   bool prune_coverability = true;
+  /// Ample-set partial-order reduction over internal services (the
+  /// OTHER structural VERIFAS optimization; multiplies with, not
+  /// against, the antichain pruning above). At a symbolic state with no
+  /// active child, a statically eligible service — insert-only
+  /// footprint (model/independence.h), never observed by the property,
+  /// X-free task skeletons — whose pre- AND post-condition hold at the
+  /// current configuration (so the identity stutter step is among its
+  /// successors) becomes the ample set, and the explorer expands only
+  /// its successors as long as every one of them lands on a fresh node
+  /// (the C3 discharge; see docs/ARCHITECTURE.md "Partial-order
+  /// reduction"). Verdicts are identical with the knob on or off, on
+  /// every family and at every shard count — the sharded build keeps
+  /// node identity because the ample choice is a pure function of the
+  /// state — but counter counts (cov_nodes, cov_edges, ...) shrink.
+  bool por = true;
 };
 
 /// A symbolic configuration of one task: equality component + cell.
@@ -132,8 +147,25 @@ class TaskContext {
   /// initialization is carried by the enumerated initial cells.
   PartialIsoType OpeningIso(const PartialIsoType& input) const;
 
+  // --- partial-order reduction (VerifierOptions::por) ---------------------
+  /// Whether internal service `svc` is statically ample-eligible: every
+  /// skeleton of the task's property nodes is X-free, no service
+  /// proposition of those nodes names the service, and its footprint is
+  /// insert-only (model/independence.h) — so firing it only grows the
+  /// marking and it can anchor an ample set wherever its post-condition
+  /// already holds (the dynamic half, checked at expansion time in
+  /// task_vass.cc).
+  bool PorServiceEligible(int svc) const {
+    return por_service_ok_[static_cast<size_t>(svc)] != 0;
+  }
+  /// Whether `s` occurs as a kService proposition in any property node
+  /// of this task — an ample stutter must not sit on an observed
+  /// service letter, so states ENTERED by such a service expand fully.
+  bool PorServiceIsProp(const ServiceRef& s) const;
+
  private:
   void CollectAtoms();
+  void ComputePor();
 
   const ArtifactSystem* system_;
   const HltlProperty* property_;
@@ -146,6 +178,8 @@ class TaskContext {
   std::set<int> set_vars_;
   std::vector<std::set<int>> rel_vars_;
   std::vector<int> preserved_polys_;
+  std::vector<char> por_service_ok_;
+  std::vector<ServiceRef> por_service_props_;
 };
 
 /// Set-update bookkeeping of one successor on ONE artifact relation.

@@ -211,9 +211,47 @@ std::unique_ptr<VassSystem::Prepared> TaskVass::PrepareSuccessors(
   // (A) Internal services: all subtasks must have returned
   // (restriction 4).
   if (!any_active) {
-    for (size_t i = 0; i < task.services().size(); ++i) {
+    // Partial-order reduction: the ample set collects every statically
+    // eligible service (insert-only, unobserved, X-free skeletons —
+    // TaskContext::PorServiceEligible) that is enabled AND whose
+    // post-condition already holds, so its successor set contains the
+    // IDENTITY STUTTER step: same iso/cell, marking bumped by the
+    // insert deltas only. That step is the whole soundness argument —
+    // from its target (same configuration, at least as many tokens)
+    // every skipped transition remains enabled with a covering outcome,
+    // because internal services resample all non-input variables from
+    // the same input projection and inserts only ever ADD counters. So
+    // the ample prefix is ONE stutter edge per eligible service
+    // (ascending service index), each constructed directly
+    // (EnumerateInternal would bury it in the service's full cell
+    // fan-out); the committed prefix length is what AmplePrefix(state)
+    // reports, and the explorer expands only that prefix while at least
+    // one prefix edge makes progress — reaches a FRESH node
+    // (vass/karp_miller.cc). Keeping all eligible stutters matters:
+    // once one service's counters saturate to ω its stutter stops
+    // being fresh, and the remaining services' diagonals must keep the
+    // reduction alive. The full service list follows in natural order —
+    // ample services included — so a revert expands the state exactly
+    // as a POR-off build would (plus duplicate stutter edges that fold
+    // into their own nodes). States entered by an observed service
+    // expand fully — the stutter must not sit on a letter the property
+    // can see. Everything read here is part of the state's
+    // configuration, so the choice is a pure function of the state.
+    std::vector<int> ample;
+    if (ctx_->options().por && !ctx_->PorServiceIsProp(snapshot.service)) {
+      for (size_t i = 0; i < task.services().size(); ++i) {
+        if (!ctx_->PorServiceEligible(static_cast<int>(i))) continue;
+        const InternalService& svc = task.service(static_cast<int>(i));
+        if (ctx_->EvalSym(*svc.pre, cur) != Truth::kTrue) continue;
+        if (ctx_->EvalSym(*svc.post, cur) != Truth::kTrue) continue;
+        ample.push_back(static_cast<int>(i));
+      }
+    }
+    // Emits every successor of service `i`; returns whether THIS
+    // service's enumeration was budget-truncated.
+    auto emit_service = [&](size_t i) -> bool {
       const InternalService& svc = task.service(static_cast<int>(i));
-      if (ctx_->EvalSym(*svc.pre, cur) != Truth::kTrue) continue;
+      if (ctx_->EvalSym(*svc.pre, cur) != Truth::kTrue) return false;
       bool truncated = false;
       std::vector<InternalSuccessor> succs =
           EnumerateInternal(*ctx_, cur, svc, &truncated);
@@ -278,6 +316,32 @@ std::unique_ptr<VassSystem::Prepared> TaskVass::PrepareSuccessors(
         pe->fresh_stages = true;
         pe->set_ops = std::move(ops);
       }
+      return truncated;
+    };
+    for (int a : ample) {
+      const InternalService& svc = task.service(a);
+      std::vector<PendingEdge::PendingSetOp> ops;
+      for (int rel = 0; rel < ctx_->num_set_relations(); ++rel) {
+        if (!svc.InsertsInto(rel)) continue;
+        PendingEdge::PendingSetOp op;
+        op.relation = rel;
+        op.inserts = true;
+        op.insert_input_bound = ctx_->TsInputBound(cur.iso, rel);
+        op.insert_ts = pool_->InternNormalized(ctx_->TsType(cur.iso, rel));
+        ops.push_back(std::move(op));
+      }
+      PendingEdge* pe = EmitPending(
+          snapshot, cur, ServiceRef::Internal(ctx_->task_id(), a), kNoTask,
+          0, svc.name, pending.get());
+      pe->fresh_stages = true;
+      pe->set_ops = std::move(ops);
+    }
+    // If no Büchi successor is compatible with the stutter letter the
+    // prefix commits zero edges and AmplePrefix stays 0 — the state
+    // expands fully.
+    pending->ample_pending = static_cast<int>(pending->edges.size());
+    for (size_t i = 0; i < task.services().size(); ++i) {
+      emit_service(i);
     }
   }
 
@@ -360,7 +424,9 @@ void TaskVass::CommitSuccessors(int state, std::unique_ptr<Prepared> prepared,
   truncated_ = truncated_ || pending->truncated;
   const State snapshot = states_[state];
   const Task& task = ctx_->task();
-  for (PendingEdge& pe : pending->edges) {
+  int ample_committed = 0;
+  for (size_t pi = 0; pi < pending->edges.size(); ++pi) {
+    PendingEdge& pe = pending->edges[pi];
     // Resolve artifact-relation bookkeeping to counter dimensions / ib
     // bits. Allocation order (ascending relation index per edge,
     // inserts before retrieves within a relation, pending-edge order
@@ -426,12 +492,28 @@ void TaskVass::CommitSuccessors(int state, std::unique_ptr<Prepared> prepared,
       rec.child_result_index = pe.child_result_index;
       rec.note = pe.note;
       out->push_back(VassEdge{target, delta, InternRecord(std::move(rec))});
+      if (pi < static_cast<size_t>(pending->ample_pending)) {
+        ++ample_committed;
+      }
     }
   }
+  // Record the ample-prefix length for AmplePrefix. The ample choice
+  // and its successor set are pure functions of the configuration, so a
+  // recommit after cache eviction reproduces the same count.
+  if (ample_prefix_.size() < states_.size()) {
+    ample_prefix_.resize(states_.size(), 0);
+  }
+  ample_prefix_[static_cast<size_t>(state)] = ample_committed;
 }
 
 void TaskVass::Successors(int state, std::vector<VassEdge>* out) {
   CommitSuccessors(state, PrepareSuccessors(state), out);
+}
+
+int TaskVass::AmplePrefix(int state) const {
+  return static_cast<size_t>(state) < ample_prefix_.size()
+             ? ample_prefix_[static_cast<size_t>(state)]
+             : 0;
 }
 
 bool TaskVass::IsReturning(int state) const {

@@ -170,6 +170,12 @@ class TaskVass : public VassSystem {
   std::unique_ptr<Prepared> PrepareSuccessors(int state) override;
   void CommitSuccessors(int state, std::unique_ptr<Prepared> prepared,
                         std::vector<VassEdge>* out) override;
+  /// Committed length of `state`'s ample prefix (0 = no reduction): the
+  /// leading edges produced by the ample service selected in
+  /// PrepareSuccessors. Written only inside the serialized commit and a
+  /// pure function of the state's configuration, so recomputation after
+  /// cache eviction reproduces the same value.
+  int AmplePrefix(int state) const override;
 
   // --- state inspection (used by the RT computation) -------------------
   int num_states() const { return static_cast<int>(states_.size()); }
@@ -346,6 +352,10 @@ class TaskVass : public VassSystem {
   struct PendingSuccessors : Prepared {
     std::vector<PendingEdge> edges;
     bool truncated = false;
+    /// Count of LEADING edges that are ample identity stutters, one
+    /// per eligible service (0 = no ample set selected — the state
+    /// expands fully).
+    int ample_pending = 0;
   };
 
   /// Appends a PendingEdge for the transition into `next` (computing
@@ -395,6 +405,9 @@ class TaskVass : public VassSystem {
   std::unordered_map<OutcomeKey, int, OutcomeKeyHash> outcome_index_;
   std::vector<TransitionRecord> records_;
   std::unordered_map<RecordKey, int64_t, RecordKeyHash> record_index_;
+  /// Per-state committed ample-prefix length (AmplePrefix); indexed by
+  /// state id, lazily grown in CommitSuccessors.
+  std::vector<int> ample_prefix_;
   bool truncated_ = false;
 };
 

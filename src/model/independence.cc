@@ -1,0 +1,129 @@
+#include "model/independence.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace has {
+
+namespace {
+
+void CollectDbRelations(const Condition& c, std::set<RelationId>* out) {
+  std::vector<const Condition*> atoms;
+  c.CollectAtoms(&atoms);
+  for (const Condition* atom : atoms) {
+    if (atom->kind() == CondKind::kRel) out->insert(atom->relation());
+  }
+}
+
+bool DisjointRels(const ServiceFootprint& a, const ServiceFootprint& b) {
+  for (int r : a.insert_rels) {
+    if (b.TouchesRelation(r)) return false;
+  }
+  for (int r : a.retrieve_rels) {
+    if (b.TouchesRelation(r)) return false;
+  }
+  return true;
+}
+
+bool DisjointVars(const std::set<int>& a, const std::set<int>& b) {
+  auto it_a = a.begin();
+  auto it_b = b.begin();
+  while (it_a != a.end() && it_b != b.end()) {
+    if (*it_a < *it_b) {
+      ++it_a;
+    } else if (*it_b < *it_a) {
+      ++it_b;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ServiceFootprint::TouchesRelation(int rel) const {
+  return std::find(insert_rels.begin(), insert_rels.end(), rel) !=
+             insert_rels.end() ||
+         std::find(retrieve_rels.begin(), retrieve_rels.end(), rel) !=
+             retrieve_rels.end();
+}
+
+TaskIndependence TaskIndependence::Analyze(const Task& task,
+                                           std::vector<std::string>* errors) {
+  TaskIndependence out;
+  out.n_ = static_cast<int>(task.services().size());
+  out.footprints_.reserve(task.services().size());
+
+  std::set<int> inputs;
+  for (int v : task.InputVars()) inputs.insert(v);
+
+  for (const InternalService& svc : task.services()) {
+    ServiceFootprint fp;
+    {
+      std::vector<int> vars;
+      if (svc.pre) svc.pre->CollectVars(&vars);
+      fp.pre_vars.insert(vars.begin(), vars.end());
+      vars.clear();
+      if (svc.post) svc.post->CollectVars(&vars);
+      fp.post_vars.insert(vars.begin(), vars.end());
+    }
+    if (svc.pre) CollectDbRelations(*svc.pre, &fp.db_relations);
+    if (svc.post) CollectDbRelations(*svc.post, &fp.db_relations);
+
+    auto touch_var = [&](int v) {
+      (inputs.count(v) != 0 ? fp.input_reads : fp.noninput_vars).insert(v);
+    };
+    for (int v : fp.pre_vars) touch_var(v);
+    for (int v : fp.post_vars) touch_var(v);
+
+    // δ targets, validated as they are harvested: an out-of-range or
+    // repeated relation index is a spec error (the generalized form of
+    // restriction 5) and contributes nothing to the footprint.
+    auto add_targets = [&](const std::vector<int>& rels, bool is_insert,
+                           const char* verb) {
+      std::set<int> seen;
+      for (int r : rels) {
+        if (r < 0 || r >= task.num_set_relations()) {
+          if (errors != nullptr) {
+            errors->push_back(
+                StrCat("service ", svc.name, " ", verb,
+                       "s an artifact relation the task does not declare"));
+          }
+          continue;
+        }
+        if (!seen.insert(r).second) {
+          if (errors != nullptr) {
+            errors->push_back(StrCat("service ", svc.name, " ", verb,
+                                     "s relation ",
+                                     task.set_relations()[r].name, " twice"));
+          }
+          continue;
+        }
+        (is_insert ? fp.insert_rels : fp.retrieve_rels).push_back(r);
+        for (int v : task.set_relations()[r].vars) touch_var(v);
+      }
+    };
+    add_targets(svc.insert_rels, /*is_insert=*/true, "insert");
+    add_targets(svc.retrieve_rels, /*is_insert=*/false, "retrieve");
+
+    out.footprints_.push_back(std::move(fp));
+  }
+
+  const size_t n = static_cast<size_t>(out.n_);
+  out.commutes_.assign(n * n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      const ServiceFootprint& a = out.footprints_[i];
+      const ServiceFootprint& b = out.footprints_[j];
+      const bool commutes =
+          DisjointRels(a, b) && DisjointVars(a.noninput_vars, b.noninput_vars);
+      out.commutes_[i * n + j] = commutes ? 1 : 0;
+      out.commutes_[j * n + i] = commutes ? 1 : 0;
+    }
+  }
+  return out;
+}
+
+}  // namespace has

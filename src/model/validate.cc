@@ -3,6 +3,7 @@
 #include <set>
 
 #include "common/strings.h"
+#include "model/independence.h"
 
 namespace has {
 
@@ -49,7 +50,10 @@ void CheckTask(const ArtifactSystem& system, const Task& t,
 
   // Internal services: conditions over the task's scope; every set
   // update must target a declared relation (the generalized form of
-  // restriction 5), at most once per relation.
+  // restriction 5), at most once per relation. The δ-target checks run
+  // inside the static independence analysis (model/independence.h),
+  // which walks the same per-service data to build the footprints and
+  // commutation matrix consumed by partial-order reduction.
   for (const InternalService& s : t.services()) {
     Status pre = s.pre->CheckWellFormed(t.vars(), schema);
     if (!pre.ok()) error(StrCat("service ", s.name, " pre: ", pre.message()));
@@ -57,21 +61,11 @@ void CheckTask(const ArtifactSystem& system, const Task& t,
     if (!post.ok()) {
       error(StrCat("service ", s.name, " post: ", post.message()));
     }
-    auto check_targets = [&](const std::vector<int>& rels,
-                             const char* verb) {
-      std::set<int> seen;
-      for (int r : rels) {
-        if (r < 0 || r >= t.num_set_relations()) {
-          error(StrCat("service ", s.name, " ", verb,
-                       "s an artifact relation the task does not declare"));
-        } else if (!seen.insert(r).second) {
-          error(StrCat("service ", s.name, " ", verb, "s relation ",
-                       t.set_relations()[r].name, " twice"));
-        }
-      }
-    };
-    check_targets(s.insert_rels, "insert");
-    check_targets(s.retrieve_rels, "retrieve");
+  }
+  {
+    std::vector<std::string> delta_errors;
+    TaskIndependence::Analyze(t, &delta_errors);
+    for (const std::string& msg : delta_errors) error(msg);
   }
 
   // Input mapping f_in: partial 1-1, sort-preserving.

@@ -281,14 +281,63 @@ void KarpMiller::BuildSequential(const std::vector<int>& initial_states) {
     const std::vector<VassEdge> out = CacheSuccessors(
         state, ++step,
         [&](std::vector<VassEdge>* edges) { system_->Successors(state, edges); });
-    for (const VassEdge& e : out) {
-      if (!SuccessorMarking(n, e.target, e.delta, &next)) continue;
+    // Ample-prefix partial-order reduction (options_.por): expand only
+    // the leading `ample` edges, and only if at least one of them lands
+    // on a FRESH node — a folded stutter is covered by its dominator,
+    // but a prefix with NO fresh target makes no progress, so skipping
+    // the rest could defer the remaining transitions forever (the C3
+    // discharge — see KarpMillerOptions::por). Keeping EVERY fresh
+    // stutter (rather than just the first) matters empirically: the
+    // parallel diagonals saturate each other's counters to ω sooner,
+    // and the ω-rich full expansions then dominate what a serialized
+    // staircase would re-explore at partially-saturated markings. A
+    // prefix that already spans every edge reduces nothing, so it is
+    // treated as 0.
+    size_t ample = 0;
+    if (options_.por) {
+      int a = system_->AmplePrefix(state);
+      if (a > 0 && static_cast<size_t>(a) < out.size()) {
+        ample = static_cast<size_t>(a);
+      }
+    }
+    bool ample_active = ample > 0;
+    bool ample_fresh = false;
+    for (size_t i = 0; i < out.size(); ++i) {
+      if (ample_active && i == ample) {
+        if (ample_fresh) {
+          // Some prefix edge made progress: skip the remaining
+          // successors — the ample set stands in for them.
+          ample_reduced_successors_ += out.size() - ample;
+          break;
+        }
+        // Every stutter folded or was disabled: expand fully.
+        ample_active = false;
+        ++ample_full_expansions_;
+      }
+      const VassEdge& e = out[i];
+      if (!SuccessorMarking(n, e.target, e.delta, &next)) {
+        // A disabled prefix edge (impossible for insert-only stutters
+        // by the AmplePrefix contract) simply contributes no fresh
+        // node; the sharded replay sees the same ordinal gap.
+        continue;
+      }
       if (prune) {
         int dom = DominatorOf(e.target, MarkingView(next));
         if (dom >= 0) {
+          if (ample_active &&
+              !marking::Equal(MarkingView(next), nodes_[dom].marking)) {
+            // A STRICTLY dominated stutter is progress too: deferring
+            // to the strictly larger node ascends the marking order,
+            // so no deferral cycle can form (only equal folds — the
+            // saturation points — can close one and force the full
+            // expansion below).
+            ample_fresh = true;
+          }
           // Dropped successor: keep the transition as a cover-edge to
           // the dominating node — the action is real, only its target
-          // marking was folded into the (larger) antichain entry.
+          // marking was folded into the (larger) antichain entry. A
+          // folded PREFIX edge stays covered the same way: the
+          // dominator's expansion stands in for the stutter target's.
           nodes_[n].edges.push_back(Edge{dom, e.label, e.delta,
                                          /*cover=*/true});
           ++cover_edges_;
@@ -296,6 +345,7 @@ void KarpMiller::BuildSequential(const std::vector<int>& initial_states) {
           continue;
         }
         int child = make_node(e.target, next, n, e.label);
+        if (ample_active) ample_fresh = true;
         round.resize(nodes_.size(), cur_round + 1);
         nodes_[n].edges.push_back(Edge{child, e.label, e.delta});
         worklist.push_back(child);
@@ -304,7 +354,10 @@ void KarpMiller::BuildSequential(const std::vector<int>& initial_states) {
       bool created = false;
       int child = InternNode(e.target, next, n, e.label, &created);
       nodes_[n].edges.push_back(Edge{child, e.label, e.delta});
-      if (created) worklist.push_back(child);
+      if (created) {
+        if (ample_active) ample_fresh = true;
+        worklist.push_back(child);
+      }
     }
   }
 }
@@ -644,6 +697,41 @@ void KarpMiller::BuildSharded(const std::vector<int>& initial_states) {
         static_cast<size_t>(num_shards));
     if (prune) round_first_new_id_ = nodes_.size();
     std::vector<int> round_new_nodes;
+    // Ample-prefix replay (options_.por), mirroring the sequential
+    // explorer edge for edge. Workers emit EVERY enabled candidate, so
+    // the rank-order walk below sees the same per-parent edge sequence
+    // the sequential loop iterates, and replays the identical decision:
+    // expand only the leading AmplePrefix(parent) edges, and only if
+    // at least one of them lands on a fresh node; otherwise revert to
+    // full expansion. A candidate past a committed prefix is simply
+    // dropped (the sequential loop `break`s there).
+    int por_parent = -1;
+    size_t por_ample = 0;      // clamped prefix length of por_parent
+    bool por_active = false;   // prefix decision still pending
+    bool por_fresh = false;    // some prefix candidate created a node
+    bool por_skipping = false; // prefix committed: dropping the rest
+    auto por_edge_count = [&](int parent) -> size_t {
+      // Pinned for the whole round by the commit phase.
+      return succ_cache_.find(nodes_[parent].state)->second.edges.size();
+    };
+    auto por_finish_parent = [&]() {
+      if (por_parent < 0) return;
+      if (por_active && !por_skipping) {
+        // No candidate past the prefix arrived (every remaining edge
+        // was disabled): the sequential loop still reaches its
+        // boundary at i == ample and decides there.
+        if (por_fresh) {
+          ample_reduced_successors_ +=
+              por_edge_count(por_parent) - por_ample;
+        } else {
+          ++ample_full_expansions_;
+        }
+      }
+      por_parent = -1;
+      por_active = false;
+      por_fresh = false;
+      por_skipping = false;
+    };
     for (;;) {
       int best = -1;
       for (int s = 0; s < num_shards; ++s) {
@@ -656,6 +744,35 @@ void KarpMiller::BuildSharded(const std::vector<int>& initial_states) {
       }
       if (best == -1) break;
       Candidate& c = shards[best].received[pos[best]++];
+      if (options_.por) {
+        if (c.parent != por_parent) {
+          por_finish_parent();
+          por_parent = c.parent;
+          por_fresh = false;
+          por_skipping = false;
+          int a = system_->AmplePrefix(nodes_[c.parent].state);
+          const size_t edge_count = por_edge_count(c.parent);
+          por_ample = (a > 0 && static_cast<size_t>(a) < edge_count)
+                          ? static_cast<size_t>(a)
+                          : 0;
+          por_active = por_ample > 0;
+        }
+        if (por_skipping) continue;
+        if (por_active && static_cast<size_t>(c.ordinal) >= por_ample) {
+          // Prefix boundary: the same decision the sequential loop
+          // takes at i == ample. Disabled prefix edges (ordinal gaps)
+          // need no special handling — they just never contributed a
+          // fresh node.
+          if (por_fresh) {
+            ample_reduced_successors_ +=
+                por_edge_count(c.parent) - por_ample;
+            por_skipping = true;
+            continue;
+          }
+          por_active = false;
+          ++ample_full_expansions_;
+        }
+      }
       if (prune) {
         // Exact filter, replayed in the sequential explorer's order:
         // a dominated candidate becomes a cover-edge to the live
@@ -664,6 +781,17 @@ void KarpMiller::BuildSharded(const std::vector<int>& initial_states) {
         // absorb exactly as the single-shard build would.
         int dom = DominatorOf(c.target_state, MarkingView(c.marking));
         if (dom >= 0) {
+          if (por_active &&
+              !marking::Equal(MarkingView(c.marking),
+                              nodes_[dom].marking)) {
+            // Strictly dominated stutter: progress, exactly as the
+            // sequential loop records at this rank.
+            por_fresh = true;
+          }
+          // A folded prefix edge stays a cover-edge like any other:
+          // the dominator's expansion stands in for the stutter
+          // target's, so no revert is needed (the fresh-progress check
+          // at the boundary is the C3 discharge).
           nodes_[c.parent].edges.push_back(Edge{dom, c.label,
                                                 std::move(c.delta),
                                                 /*cover=*/true});
@@ -671,6 +799,7 @@ void KarpMiller::BuildSharded(const std::vector<int>& initial_states) {
           ++pruned_successors_;
           continue;
         }
+        if (por_active) por_fresh = true;
         int id = static_cast<int>(nodes_.size());
         Node node;
         node.state = c.target_state;
@@ -692,6 +821,11 @@ void KarpMiller::BuildSharded(const std::vector<int>& initial_states) {
         int p = -c.resolved - 2;
         int& final_id = shards[best].pending_final[p];
         if (final_id == -1) {
+          // The sequential InternNode would report created=true here —
+          // a fresh prefix node is the progress the boundary check
+          // requires. Duplicates (this round's or older) just fail to
+          // contribute.
+          if (por_active) por_fresh = true;
           final_id = static_cast<int>(nodes_.size());
           Node node;
           node.state = c.target_state;
@@ -706,6 +840,7 @@ void KarpMiller::BuildSharded(const std::vector<int>& initial_states) {
       nodes_[c.parent].edges.push_back(Edge{target, c.label,
                                             std::move(c.delta)});
     }
+    por_finish_parent();
     if (prune) {
       // Newcomers deactivated later in the same walk never reach a
       // frontier — their subtree is cut before it exists.
@@ -718,7 +853,14 @@ void KarpMiller::BuildSharded(const std::vector<int>& initial_states) {
     for (int s = 0; s < num_shards; ++s) {
       Shard& shard = shards[s];
       for (size_t p = 0; p < shard.pending_keys.size(); ++p) {
-        shard.index[shard.pending_keys[p]] = shard.pending_final[p];
+        if (shard.pending_final[p] == -1) {
+          // Every candidate referencing this key was dropped by the
+          // ample-prefix replay: no node exists, so the key must leave
+          // the index (a -1 entry would poison later-round dedup).
+          shard.index.erase(shard.pending_keys[p]);
+        } else {
+          shard.index[shard.pending_keys[p]] = shard.pending_final[p];
+        }
       }
       shard.pending_keys.clear();
       shard.received.clear();

@@ -88,6 +88,26 @@ struct KarpMillerOptions {
   /// is what keeps the sharded build node-identical to the sequential
   /// one under pruning.
   bool prune_coverability = false;
+  /// Ample-prefix partial-order reduction: when the system reports a
+  /// positive AmplePrefix(state) (see VassSystem::AmplePrefix), expand
+  /// only those leading edges of the state — PROVIDED at least one
+  /// prefix edge makes PROGRESS: it lands on a fresh node, or folds
+  /// into an antichain entry whose marking is STRICTLY larger than the
+  /// edge's target. If every prefix edge folds into an EQUAL marking
+  /// (an already-interned duplicate, or a dominator that adds nothing)
+  /// the node reverts to full expansion, which discharges the
+  /// ample-set ignoring condition (C3): deferred transitions ride a
+  /// chain of progress witnesses that either creates fresh nodes
+  /// (acyclic by creation order, finite — ω-acceleration saturates
+  /// strictly growing markings) or strictly ascends the marking order
+  /// (acyclic by strictness), and every chain therefore ends at a
+  /// fully-expanded node whose configuration and marking cover the
+  /// deferring state's. Reduction decisions replay in the sequential
+  /// rank order during sharded merges, so the reduced graph keeps the
+  /// node-identity guarantee at every shard count. Default OFF here so
+  /// direct KarpMiller consumers (unit tests, explicit VASSes) are
+  /// unaffected; the verifier sets it from VerifierOptions::por.
+  bool por = false;
 };
 
 class KarpMiller {
@@ -172,6 +192,18 @@ class KarpMiller {
   size_t antichain_skipped_by_summary() const {
     return antichain_skipped_by_summary_;
   }
+  /// Partial-order-reduction accounting (both 0 unless options.por and
+  /// the system reports ample prefixes). Deterministic: decisions
+  /// replay the sequential rank order, so the counts are identical at
+  /// every shard count.
+  /// Successors skipped because an ample prefix expanded in their
+  /// place.
+  size_t ample_reduced_successors() const {
+    return ample_reduced_successors_;
+  }
+  /// Nodes whose ample prefix was abandoned because a prefix edge
+  /// folded into an existing node (the C3 full-expansion rule).
+  size_t ample_full_expansions() const { return ample_full_expansions_; }
   /// Whether node n was deactivated (always false without pruning).
   bool node_deactivated(int n) const {
     return static_cast<size_t>(n) < deactivated_.size() &&
@@ -297,6 +329,10 @@ class KarpMiller {
   size_t cover_edges_ = 0;
   size_t antichain_probes_ = 0;
   size_t antichain_skipped_by_summary_ = 0;
+
+  // --- partial-order reduction accounting (options.por only) -----------
+  size_t ample_reduced_successors_ = 0;
+  size_t ample_full_expansions_ = 0;
 };
 
 }  // namespace has

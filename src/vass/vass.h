@@ -73,6 +73,21 @@ class VassSystem {
     (void)prepared;
     Successors(state, out);
   }
+
+  /// Partial-order reduction hook: the number of LEADING edges of
+  /// `state`'s successor list that form a valid ample prefix — the
+  /// explorer may expand only those edges as long as at least one of
+  /// them makes progress (see KarpMillerOptions::por). 0 means no
+  /// reduction. Contract: the value is a pure function of `state`
+  /// (never of markings, shard or arrival order) and idempotent across
+  /// successor recomputations, and every prefix edge has a non-negative
+  /// delta (it can never be marking-disabled) and targets a real
+  /// successor — the reduced graph is a subgraph of the full one's
+  /// closure under the prefix transitions.
+  virtual int AmplePrefix(int state) const {
+    (void)state;
+    return 0;
+  }
 };
 
 /// Explicit VASS for tests and examples.
