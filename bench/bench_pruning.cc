@@ -60,6 +60,12 @@ void RunVerification(benchmark::State& state, const Workload& w) {
       static_cast<double>(stats.antichain_probes);
   state.counters["antichain_skipped_by_summary"] =
       static_cast<double>(stats.antichain_skipped_by_summary);
+  state.counters["antichain_bucket_probes"] =
+      static_cast<double>(stats.antichain_bucket_probes);
+  state.counters["antichain_buckets_peak"] =
+      static_cast<double>(stats.antichain_buckets_peak);
+  state.counters["sparse_markings"] =
+      static_cast<double>(stats.sparse_markings);
   state.counters["ample_reduced_successors"] =
       static_cast<double>(stats.ample_reduced_successors);
   state.counters["ample_full_expansions"] =

@@ -37,11 +37,24 @@ GATED = [
     "pooled_types",
     "cover_edges",
     "counter_dims",
-    # Antichain entries examined by domination probes: the dominance
+    # Marking payloads touched by domination probes (DominanceLeq
+    # calls made by the bucketed dominance index): the dominance
     # kernel's work count. Shard-count-invariant (probes replay the
     # sequential decision order), so the sharded --exact gate doubles
-    # as the probe-determinism check.
+    # as the probe-determinism check. NOTE: until the bucketed index
+    # landed this counted entries EXAMINED (payload compares + summary
+    # skips); the semantics change shipped with a baseline re-record.
     "antichain_probes",
+    # Summary buckets examined by the bucketed dominance index — the
+    # sublinear-probe work count. Deterministic and shard-count-
+    # invariant like antichain_probes (the bucket layout replays the
+    # sequential insertion/removal history).
+    "antichain_bucket_probes",
+    # Coverability-node markings stored under the sparse
+    # (dimension, value)-pair representation. A pure function of the
+    # (deterministic) node set and the per-marking density rule, so any
+    # drift means the stored representation changed.
+    "sparse_markings",
     # bench_marking kernel-semantics counts: the number of ≤ pairs and
     # of summary-filter survivors over a fixed-seed random corpus.
     # Gated with --exact in CI, so the scalar and SIMD kernel builds
@@ -71,6 +84,9 @@ INFORMATIONAL = [
     "pruned_successors",
     "deactivated_nodes",
     "antichain_peak",
+    # Largest per-state bucket count of the bucketed dominance index:
+    # tracks antichain shape, not work done (mirrors antichain_peak).
+    "antichain_buckets_peak",
     # Probes resolved by the support-summary prefilter alone: more
     # skips is good news, so drift is surfaced, not gated.
     "antichain_skipped_by_summary",

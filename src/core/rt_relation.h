@@ -48,11 +48,20 @@ struct RtStats {
   size_t antichain_peak = 0;
   size_t cover_edges = 0;
   /// Antichain probe accounting (deterministic, shard-count-
-  /// invariant): entries examined by domination probes, and how many
-  /// of those the per-dimension-group support summary resolved without
-  /// touching the marking payload (vass/marking.h).
+  /// invariant): marking payloads touched by domination probes
+  /// (DominanceLeq calls), summary buckets examined by the bucketed
+  /// dominance index (vass/dominance_index.h), entries a summary test
+  /// resolved without touching their payload, and the largest
+  /// per-state bucket count seen.
   size_t antichain_probes = 0;
+  size_t antichain_bucket_probes = 0;
   size_t antichain_skipped_by_summary = 0;
+  size_t antichain_buckets_peak = 0;
+  /// Coverability-node markings stored under the sparse
+  /// (dimension, value)-pair representation (MarkingArena::AddAuto;
+  /// deterministic — the node set and the per-marking selection rule
+  /// are shard-invariant).
+  size_t sparse_markings = 0;
   /// Partial-order reduction accounting (0 unless VerifierOptions::por):
   /// successors never generated because an ample prefix covered the
   /// state (deterministic, shard-count-invariant), and ample attempts

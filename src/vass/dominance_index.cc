@@ -1,0 +1,93 @@
+#include "vass/dominance_index.h"
+
+namespace has {
+
+void DominanceIndex::Insert(int node, MarkingView marking) {
+  Entry e{node, marking, ExtendedSummary(marking), marking.size() <= 32};
+  Bucket* bucket;
+  if (IsWild(e.summary)) {
+    bucket = &wild_;
+  } else {
+    auto [it, inserted] = bucket_of_.try_emplace(e.summary, buckets_.size());
+    if (inserted) {
+      buckets_.emplace_back();
+      buckets_.back().key = e.summary;
+    }
+    bucket = &buckets_[it->second];
+  }
+  assert(bucket->entries.empty() || bucket->entries.back().node < node);
+  bucket->entries.push_back(e);
+  ++size_;
+}
+
+int DominanceIndex::DominatorOf(const MarkingView& m, Stats* stats) const {
+  const MarkingSummary ms = ExtendedSummary(m);
+  const bool m_exact = m.size() <= 32;
+  const uint32_t m_nonzero = static_cast<uint32_t>(ms.support);
+  int best = -1;
+  for (const Bucket& bucket : buckets_) {
+    // Rank cutoff: entries are ascending by id, so a bucket whose
+    // first id already exceeds the best dominator in hand cannot
+    // improve the minimum — skip it before even the summary test.
+    if (best >= 0 && bucket.entries.front().node > best) continue;
+    ++stats->bucket_probes;
+    if (!SummaryMayDominate(ms, bucket.key)) {
+      stats->skipped += bucket.entries.size();
+      continue;
+    }
+    // ω-cover fast accept: every nonzero dimension of m meets an ω of
+    // the bucket's (shared, exact) summary — m ≤ entry is proven for
+    // every exact entry without a payload compare.
+    const bool omega_accept =
+        m_exact &&
+        (m_nonzero & ~static_cast<uint32_t>(bucket.key.support >> 32)) == 0;
+    for (const Entry& e : bucket.entries) {
+      if (best >= 0 && e.node > best) break;
+      if (omega_accept && e.exact) {
+        ++stats->skipped;
+        best = e.node;
+        break;  // ascending ids: first hit is this bucket's minimum
+      }
+      ++stats->payload_probes;
+      if (DominanceLeq(m, e.marking)) {
+        best = e.node;
+        break;
+      }
+    }
+  }
+  if (!wild_.entries.empty() &&
+      !(best >= 0 && wild_.entries.front().node > best)) {
+    ++stats->bucket_probes;
+    for (const Entry& e : wild_.entries) {
+      if (best >= 0 && e.node > best) break;
+      if (!SummaryMayDominate(ms, e.summary)) {
+        ++stats->skipped;
+        continue;
+      }
+      if (m_exact && e.exact &&
+          (m_nonzero & ~static_cast<uint32_t>(e.summary.support >> 32)) ==
+              0) {
+        ++stats->skipped;
+        best = e.node;
+        break;
+      }
+      ++stats->payload_probes;
+      if (DominanceLeq(m, e.marking)) {
+        best = e.node;
+        break;
+      }
+    }
+  }
+  return best;
+}
+
+void DominanceIndex::EraseBucket(size_t bi) {
+  bucket_of_.erase(buckets_[bi].key);
+  if (bi + 1 != buckets_.size()) {
+    buckets_[bi] = std::move(buckets_.back());
+    bucket_of_[buckets_[bi].key] = bi;
+  }
+  buckets_.pop_back();
+}
+
+}  // namespace has

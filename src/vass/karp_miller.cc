@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <condition_variable>
 #include <deque>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <thread>
 
 #include "common/status.h"
@@ -51,7 +54,7 @@ int KarpMiller::InternNode(int state, const std::vector<int64_t>& marking,
   }
   Node node;
   node.state = state;
-  node.marking = marking_arena_.Add(marking);
+  node.marking = marking_arena_.AddAuto(marking);
   node.parent = parent;
   node.parent_label = parent_label;
   int id = static_cast<int>(nodes_.size());
@@ -103,61 +106,48 @@ bool KarpMiller::SuccessorMarking(int parent_node, int target,
 int KarpMiller::DominatorOf(int state, const MarkingView& marking) {
   auto it = antichain_.find(state);
   if (it == antichain_.end()) return -1;
-  const Antichain& chain = it->second;
-  const uint64_t summary = SupportSummary(marking);
-  for (size_t i = 0; i < chain.nodes.size(); ++i) {
-    ++antichain_probes_;
-    if (!SummaryMayDominate(summary, chain.summaries[i])) {
-      ++antichain_skipped_by_summary_;
-      continue;
-    }
-    if (DominanceLeq(marking, nodes_[chain.nodes[i]].marking)) {
-      return chain.nodes[i];
-    }
-  }
-  return -1;
+  DominanceIndex::Stats stats;
+  const int dom = it->second.DominatorOf(marking, &stats);
+  antichain_bucket_probes_ += stats.bucket_probes;
+  antichain_probes_ += stats.payload_probes;
+  antichain_skipped_by_summary_ += stats.skipped;
+  return dom;
 }
 
 void KarpMiller::AntichainAbsorb(int node) {
-  Antichain& chain = antichain_[nodes_[node].state];
+  DominanceIndex& index = antichain_[nodes_[node].state];
   const MarkingView m = nodes_[node].marking;
-  const uint64_t msum = SupportSummary(m);
   // Entries ≤ m are strictly covered (an entry equal to m would have
-  // dominated the candidate before it was interned). The summary
-  // filter runs in the covering direction here: entry ≤ m needs the
-  // ENTRY's support contained in m's.
-  for (size_t i = 0; i < chain.nodes.size();) {
-    if (SummaryMayDominate(chain.summaries[i], msum) &&
-        DominanceLeq(nodes_[chain.nodes[i]].marking, m)) {
-      int victim = chain.nodes[i];
-      if (static_cast<size_t>(victim) >= round_first_new_id_) {
-        // A same-round newcomer: unexpanded, so deactivation cuts its
-        // entire would-be subtree. Older covered entries are either
-        // already expanded or sit in the round's frontier (their
-        // expansion proceeds — round-granular deactivation keeps the
-        // sharded build's speculative expansion equivalent to the
-        // sequential one); they only leave the antichain.
-        deactivated_[static_cast<size_t>(victim)] = 1;
-        ++deactivated_count_;
-        // The retired node never expands, so walks entering it would
-        // dead-end; a label-less cover-edge to the (strictly larger)
-        // coverer keeps the closed-walk structure: anything the victim
-        // could do, the coverer's subtree over-approximates.
-        nodes_[static_cast<size_t>(victim)].edges.push_back(
-            Edge{node, -1, {}, /*cover=*/true});
-        ++cover_edges_;
-      }
-      chain.nodes[i] = chain.nodes.back();
-      chain.nodes.pop_back();
-      chain.summaries[i] = chain.summaries.back();
-      chain.summaries.pop_back();
-    } else {
-      ++i;
+  // dominated the candidate before it was interned). The victim-flag
+  // work below is order-independent, which is all the index's
+  // unspecified callback order requires.
+  DominanceIndex::Stats stats;
+  index.RemoveCoveredBy(m, &stats, [&](int victim) {
+    if (static_cast<size_t>(victim) >= round_first_new_id_) {
+      // A same-round newcomer: unexpanded, so deactivation cuts its
+      // entire would-be subtree. Older covered entries are either
+      // already expanded or sit in the round's frontier (their
+      // expansion proceeds — round-granular deactivation keeps the
+      // sharded build's speculative expansion equivalent to the
+      // sequential one); they only leave the antichain.
+      deactivated_[static_cast<size_t>(victim)] = 1;
+      ++deactivated_count_;
+      // The retired node never expands, so walks entering it would
+      // dead-end; a label-less cover-edge to the (strictly larger)
+      // coverer keeps the closed-walk structure: anything the victim
+      // could do, the coverer's subtree over-approximates.
+      nodes_[static_cast<size_t>(victim)].edges.push_back(
+          Edge{node, -1, {}, /*cover=*/true});
+      ++cover_edges_;
     }
-  }
-  chain.nodes.push_back(node);
-  chain.summaries.push_back(msum);
-  antichain_peak_ = std::max(antichain_peak_, chain.nodes.size());
+  });
+  antichain_bucket_probes_ += stats.bucket_probes;
+  antichain_probes_ += stats.payload_probes;
+  antichain_skipped_by_summary_ += stats.skipped;
+  index.Insert(node, m);
+  antichain_peak_ = std::max(antichain_peak_, index.size());
+  antichain_buckets_peak_ =
+      std::max(antichain_buckets_peak_, index.num_buckets());
 }
 
 KarpMiller::CacheEntry* KarpMiller::PinCached(int state, size_t round) {
@@ -232,7 +222,7 @@ void KarpMiller::BuildSequential(const std::vector<int>& initial_states) {
     int id = static_cast<int>(nodes_.size());
     Node node;
     node.state = state;
-    node.marking = marking_arena_.Add(marking);
+    node.marking = marking_arena_.AddAuto(marking);
     node.parent = parent;
     node.parent_label = parent_label;
     nodes_.push_back(std::move(node));
@@ -363,12 +353,23 @@ void KarpMiller::BuildSequential(const std::vector<int>& initial_states) {
 }
 
 // Sharded exploration proceeds in BFS rounds over the global frontier;
-// each round runs four phases separated by team barriers:
+// each round runs four phases, PIPELINED across two team barriers:
 //   P  PrepareSuccessors for the round's distinct uncached states —
-//      concurrent, work shared through an atomic cursor;
+//      concurrent, work shared through an atomic cursor; each finished
+//      token raises a per-state ready flag;
 //   C  CommitSuccessors serially in frontier (node id) order — the
 //      exact first-encounter order of the sequential explorer, so the
-//      system's internal numbering is schedule-independent;
+//      system's internal numbering is schedule-independent. The
+//      coordinator runs C CONCURRENTLY WITH P: a commit of a DISTINCT
+//      state starts as soon as that state's prepare completes (commit
+//      order itself never changes — the loop still walks the frontier
+//      in order), and a commit blocked on an unready token first
+//      steals prepare work before parking on the ready flag. Because
+//      commits mutate system state that in-flight prepares read (see
+//      prep_commit_rw), each PrepareSuccessors call holds a shared
+//      lock and each CommitSuccessors call an exclusive one — taken
+//      only AFTER the token is ready, never while stealing prepares,
+//      so the writer cannot deadlock against the readers it waits on;
 //   E  expansion: workers expand frontier nodes (own shard first, then
 //      stealing), apply + ω-accelerate markings against the finalized
 //      ancestry, and route each candidate to the shard owning its
@@ -440,6 +441,23 @@ void KarpMiller::BuildSharded(const std::vector<int>& initial_states) {
   std::unordered_map<int, size_t> prep_index;
   std::vector<std::unique_ptr<VassSystem::Prepared>> prep_tokens;
   std::atomic<size_t> prep_cursor{0};
+  // Per-prepare completion flags (allocated per round before barrier
+  // A; a vector of atomics cannot be resized). The release-store on a
+  // flag publishes its token to the coordinator's acquire-load, and
+  // the store happens under prep_mutex so the coordinator's condition-
+  // variable wait cannot miss the final wakeup.
+  std::unique_ptr<std::atomic<char>[]> prep_ready;
+  std::mutex prep_mutex;
+  std::condition_variable prep_cv;
+  // Prepares overlap the pipelined commits, but the system's commit
+  // path mutates structures concurrent prepares read (e.g. TaskVass
+  // interns successor STATES at commit while prepares snapshot their
+  // own state row). Prepares hold this shared, commits exclusive:
+  // each commit interleaves between in-flight prepares instead of
+  // waiting for the whole phase — the old barrier's fence shrunk to a
+  // per-call lock. Child builds nested inside a prepare lock only
+  // their own (descendant) explorers, so lock order is acyclic.
+  std::shared_mutex prep_commit_rw;
   std::vector<std::atomic<size_t>> frontier_cursors(
       static_cast<size_t>(num_shards));
   std::atomic<int> producers_done{0};
@@ -512,10 +530,43 @@ void KarpMiller::BuildSharded(const std::vector<int>& initial_states) {
       emit(w, std::move(c));
     }
   };
+  auto run_prepare = [&](size_t i) {
+    {
+      std::shared_lock<std::shared_mutex> read_lock(prep_commit_rw);
+      prep_tokens[i] = system_->PrepareSuccessors(prep_states[i]);
+    }
+    {
+      // Prepares are the round's expensive units, so the per-unit lock
+      // is noise; holding it across the store is what closes the
+      // check-then-wait race with WaitPrepared below.
+      std::lock_guard<std::mutex> lock(prep_mutex);
+      prep_ready[i].store(1, std::memory_order_release);
+    }
+    prep_cv.notify_all();
+  };
   auto phase_prepare = [&]() {
     size_t i;
     while ((i = prep_cursor.fetch_add(1)) < prep_states.size()) {
-      prep_tokens[i] = system_->PrepareSuccessors(prep_states[i]);
+      run_prepare(i);
+    }
+  };
+  // Coordinator-only: returns once prep_tokens[idx] is ready,
+  // preferring to steal an unclaimed prepare over parking — the
+  // commit pipeline keeps the coordinator productive while workers
+  // chew on the state it needs next. Once the cursor is exhausted
+  // every unit is claimed by SOME thread, so the awaited flag is
+  // guaranteed to be raised and the wait terminates.
+  auto wait_prepared = [&](size_t idx) {
+    while (!prep_ready[idx].load(std::memory_order_acquire)) {
+      const size_t j = prep_cursor.fetch_add(1);
+      if (j < prep_states.size()) {
+        run_prepare(j);
+        continue;
+      }
+      std::unique_lock<std::mutex> lock(prep_mutex);
+      prep_cv.wait(lock, [&] {
+        return prep_ready[idx].load(std::memory_order_acquire) != 0;
+      });
     }
   };
   // Deterministic rank-order dedup of one shard's received candidates
@@ -582,8 +633,11 @@ void KarpMiller::BuildSharded(const std::vector<int>& initial_states) {
       barrier.ArriveAndWait();  // A: round published
       if (done) return;
       phase_prepare();
-      barrier.ArriveAndWait();  // B: prepares done
-      barrier.ArriveAndWait();  // C: commits done
+      // B doubles as the commit fence: the coordinator arrives only
+      // after the last commit (commits pipeline against the prepares
+      // above), so its release implies the cache and system state are
+      // frozen for expansion.
+      barrier.ArriveAndWait();  // B: prepares AND commits done
       phase_expand(w);
       barrier.ArriveAndWait();  // D: candidates dedup'd
     }
@@ -642,22 +696,29 @@ void KarpMiller::BuildSharded(const std::vector<int>& initial_states) {
       spawn_team();
       prep_tokens.clear();
       prep_tokens.resize(prep_states.size());
+      prep_ready.reset(new std::atomic<char>[prep_states.size()]());
       prep_cursor.store(0);
       for (auto& c : frontier_cursors) c.store(0);
       producers_done.store(0);
 
       barrier.ArriveAndWait();  // A
-      phase_prepare();          // coordinator helps preparing
-      barrier.ArriveAndWait();  // B
 
+      // Pipelined commit phase: commits stay serial and in frontier
+      // order (the sequential explorer's first-encounter order), but
+      // each one starts as soon as ITS state's prepare lands instead
+      // of after the whole prepare phase — full-team barrier between
+      // P and C is gone. Blocked commits steal prepare work first.
       for (int n : frontier_all) {
         const int state = nodes_[n].state;
         CacheSuccessors(state, round, [&](std::vector<VassEdge>* edges) {
-          system_->CommitSuccessors(
-              state, std::move(prep_tokens[prep_index.at(state)]), edges);
+          const size_t idx = prep_index.at(state);
+          wait_prepared(idx);  // may steal prepares; takes shared locks
+          std::unique_lock<std::shared_mutex> write_lock(prep_commit_rw);
+          system_->CommitSuccessors(state, std::move(prep_tokens[idx]),
+                                    edges);
         });
       }
-      barrier.ArriveAndWait();          // C
+      barrier.ArriveAndWait();          // B (commits done — see worker_main)
       phase_expand(kCoordinator);       // coordinator helps expanding
       barrier.ArriveAndWait();          // D
     } else {
@@ -803,7 +864,7 @@ void KarpMiller::BuildSharded(const std::vector<int>& initial_states) {
         int id = static_cast<int>(nodes_.size());
         Node node;
         node.state = c.target_state;
-        node.marking = marking_arena_.Add(c.marking);
+        node.marking = marking_arena_.AddAuto(c.marking);
         node.parent = c.parent;
         node.parent_label = c.label;
         nodes_.push_back(std::move(node));
@@ -829,7 +890,7 @@ void KarpMiller::BuildSharded(const std::vector<int>& initial_states) {
           final_id = static_cast<int>(nodes_.size());
           Node node;
           node.state = c.target_state;
-          node.marking = marking_arena_.Add(c.marking);
+          node.marking = marking_arena_.AddAuto(c.marking);
           node.parent = c.parent;
           node.parent_label = c.label;
           nodes_.push_back(std::move(node));

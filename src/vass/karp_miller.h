@@ -47,6 +47,7 @@
 #include <vector>
 
 #include "common/hashing.h"
+#include "vass/dominance_index.h"
 #include "vass/vass.h"
 
 namespace has {
@@ -179,19 +180,33 @@ class KarpMiller {
   /// Cover-edges recorded at the prune points (one per dropped
   /// successor plus one per retired node; included in TotalEdges).
   size_t cover_edges() const { return cover_edges_; }
-  /// Antichain entries examined across all domination probes
-  /// (DominatorOf walks; deterministic — probes happen only in serial
-  /// code replaying the sequential decision order, so the count is
-  /// identical at every shard count).
+  /// Marking payloads touched across all domination probes
+  /// (DominanceLeq calls made by the bucketed index; deterministic —
+  /// probes happen only in serial code replaying the sequential
+  /// decision order, so the count is identical at every shard count).
+  /// NOTE: before the bucketed index this counted entries EXAMINED
+  /// (payload compares + summary skips); the narrowing to payload
+  /// touches was an explicit baseline re-record.
   size_t antichain_probes() const { return antichain_probes_; }
-  /// Probed entries resolved by the per-dimension-group support
-  /// summary alone — the marking payload was never touched. The
-  /// summary filter is a sound necessary condition (miss ⇒ dominance
-  /// impossible; vass/marking.h), so skipping never changes the
-  /// dominator decision and the graph stays node-identical.
+  /// Summary buckets examined across all probes (one strengthened
+  /// summary test per bucket stands in for one per entry —
+  /// vass/dominance_index.h). Deterministic like antichain_probes.
+  size_t antichain_bucket_probes() const { return antichain_bucket_probes_; }
+  /// Antichain entries resolved by a summary test alone — bucket-key
+  /// misses count every member of the bucket, the ω-saturated wild
+  /// bucket filters per entry. The summary filter is a sound necessary
+  /// condition (miss ⇒ dominance impossible; vass/marking.h), so
+  /// skipping never changes the dominator decision and the graph stays
+  /// node-identical.
   size_t antichain_skipped_by_summary() const {
     return antichain_skipped_by_summary_;
   }
+  /// Largest per-state bucket count observed (wild bucket included).
+  size_t antichain_buckets_peak() const { return antichain_buckets_peak_; }
+  /// Node markings stored under the sparse (dimension, value)-pair
+  /// representation (MarkingArena::AddAuto). Deterministic: the node
+  /// set and the per-marking selection rule are both shard-invariant.
+  size_t sparse_markings() const { return marking_arena_.sparse_markings(); }
   /// Partial-order-reduction accounting (both 0 unless options.por and
   /// the system reports ample prefixes). Deterministic: decisions
   /// replay the sequential rank order, so the counts are identical at
@@ -259,17 +274,16 @@ class KarpMiller {
   /// set clustered at the front makes eviction tail-pops O(1).
   CacheEntry* PinCached(int state, size_t round);
 
-  /// First active antichain node of `state` whose marking dominates
-  /// `marking` (ω-aware, 0-padded compare); -1 if none. The chain-order
-  /// "first" is deterministic because the antichain is mutated only by
-  /// serial code replaying the sequential decision order, so the cover-
-  /// edge target it yields is identical at every shard count. The walk
-  /// is summary-filter-then-verify: entries whose support summary
-  /// already rules out dominance are skipped without touching their
-  /// marking payload (counted in antichain_skipped_by_summary_); the
-  /// filter is a necessary condition, so the first verified dominator
-  /// is the same entry the unfiltered scan would return. Non-const for
-  /// the probe accounting.
+  /// MINIMUM-id active antichain node of `state` whose marking
+  /// dominates `marking` (ω-aware, 0-padded compare); -1 if none. The
+  /// minimum over all dominators is a pure function of the antichain
+  /// CONTENT — independent of bucket or scan order — so the cover-edge
+  /// target it yields is identical at every shard count by
+  /// construction (see vass/dominance_index.h for the rank-cutoff walk
+  /// that keeps it sublinear). The probe counters are deterministic
+  /// too: the antichain is mutated only by serial code replaying the
+  /// sequential decision order, so the bucketed index replays
+  /// identically. Non-const for the probe accounting.
   int DominatorOf(int state, const MarkingView& marking);
 
   /// Inserts freshly interned `node` into its state's antichain and
@@ -299,18 +313,11 @@ class KarpMiller {
   bool truncated_ = false;
 
   // --- antichain pruning state (prune_coverability only) ---------------
-  /// One state's antichain, struct-of-arrays: entry node ids parallel
-  /// to their support summaries, so the summary filter scans a dense
-  /// uint64 array and only verified-plausible entries dereference a
-  /// marking payload.
-  struct Antichain {
-    std::vector<int> nodes;
-    std::vector<uint64_t> summaries;
-  };
   /// VASS state -> the state's maximal active markings (pairwise
-  /// incomparable). Frozen during concurrent phases; mutated only by
-  /// serial code.
-  std::unordered_map<int, Antichain> antichain_;
+  /// incomparable), bucketed by extended summary so probes enumerate
+  /// only summary-compatible buckets (vass/dominance_index.h). Frozen
+  /// during concurrent phases; mutated only by serial code.
+  std::unordered_map<int, DominanceIndex> antichain_;
   /// Per node: retired before expansion (parallel to nodes_).
   std::vector<char> deactivated_;
   /// First node id of the current round's newcomers: entries at or
@@ -328,7 +335,9 @@ class KarpMiller {
   size_t antichain_peak_ = 0;
   size_t cover_edges_ = 0;
   size_t antichain_probes_ = 0;
+  size_t antichain_bucket_probes_ = 0;
   size_t antichain_skipped_by_summary_ = 0;
+  size_t antichain_buckets_peak_ = 0;
 
   // --- partial-order reduction accounting (options.por only) -----------
   size_t ample_reduced_successors_ = 0;
