@@ -30,6 +30,12 @@ void RunVerification(benchmark::State& state, const Workload& w) {
   for (auto _ : state) {
     BenchToggles toggles;
     toggles.por = por;
+    // Slicing strips the never-retrieved relations whose insert-only
+    // store footprints make the commuting family ample-eligible, so the
+    // reduction would (correctly) never fire on the sliced system. The
+    // POR rows therefore run slice-off; the slicer has its own bench
+    // (bench_slice) and gate.
+    toggles.slice = false;
     has::VerifierOptions options = ApplyCommonOptions(toggles);
     has::VerifyResult result = has::Verify(w.system, w.property, options);
     benchmark::DoNotOptimize(result.verdict);
@@ -63,6 +69,11 @@ void RunVerification(benchmark::State& state, const Workload& w) {
       static_cast<double>(stats.ample_full_expansions);
   state.counters["full_graph_builds"] =
       static_cast<double>(stats.full_graph_builds);
+  state.counters["sliced_services"] =
+      static_cast<double>(stats.sliced_services);
+  state.counters["sliced_dims"] = static_cast<double>(stats.sliced_dims);
+  state.counters["diagnostics_emitted"] =
+      static_cast<double>(stats.diagnostics_emitted);
 }
 
 const Workload& CommutingWorkload(int width) {

@@ -74,6 +74,11 @@ void RunVerification(benchmark::State& state, const Workload& w) {
   // scripts/check_bench_counters.py fails the gate if it ever revives.
   state.counters["full_graph_builds"] =
       static_cast<double>(stats.full_graph_builds);
+  state.counters["sliced_services"] =
+      static_cast<double>(stats.sliced_services);
+  state.counters["sliced_dims"] = static_cast<double>(stats.sliced_dims);
+  state.counters["diagnostics_emitted"] =
+      static_cast<double>(stats.diagnostics_emitted);
 }
 
 const Workload& Table1Workload() {

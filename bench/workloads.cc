@@ -288,6 +288,45 @@ Workload MakeMultiRelation(int size, int depth, int num_rels) {
   return w;
 }
 
+Workload MakeSlicedMultiRelation(int size, int depth, int num_rels) {
+  Workload w = MakeMultiRelation(size, depth, num_rels);
+  w.name = StrCat("sliced_", w.name);
+  for (TaskId t = 0; t < w.system.num_tasks(); ++t) {
+    Task& task = w.system.task(t);
+    // Insert-only audit trail nothing ever retrieves: its tuple
+    // variable appears in no condition, so relation AND variable are
+    // invisible to the property and both get sliced. The logging
+    // service itself stays (it is live) with the insert stripped.
+    int audit_var = task.vars().AddVar("audit_s", VarSort::kId);
+    int audit_rel = task.AddSetRelation("Audit", {audit_var});
+    {
+      InternalService log;
+      log.name = "audit_log";
+      log.pre = Condition::True();
+      log.post = Condition::True();
+      log.MarkInsert(audit_rel);
+      task.AddInternalService(std::move(log));
+    }
+    // Never-mentioned variables and a statically dead service: pure
+    // slice fodder the slice-off rows pay dimensions and successor
+    // work for.
+    task.vars().AddVar("junk_id", VarSort::kId);
+    task.vars().AddVar("junk_num", VarSort::kNumeric);
+    {
+      InternalService dead;
+      dead.name = "dead";
+      LinearExpr lt = LinearExpr::Var(1);  // amount < 0
+      LinearExpr gt = -LinearExpr::Var(1);  // amount > 0
+      dead.pre = Condition::And(
+          Condition::Arith(LinearConstraint{std::move(lt), Relop::kLt}),
+          Condition::Arith(LinearConstraint{std::move(gt), Relop::kLt}));
+      dead.post = Condition::True();
+      task.AddInternalService(std::move(dead));
+    }
+  }
+  return w;
+}
+
 Workload MakeCommutingServices(int width, int depth) {
   if (width < 1) width = 1;
   if (depth < 1) depth = 1;

@@ -69,6 +69,16 @@ Workload MakeMultiSet(int size, int depth, int set_width);
 /// width of a single group).
 Workload MakeMultiRelation(int size, int depth, int num_rels);
 
+/// Sliceable multi-relation family (the cone-of-influence-slicing
+/// showcase): MakeMultiRelation plus, per task, an insert-only audit
+/// relation nothing ever retrieves, two never-mentioned variables, and
+/// a statically dead service — all invisible to the property, so the
+/// slicer (VerifierOptions::slice) strips them before the product VASS
+/// is built. Slice-on rows must show strictly fewer counter_dims and
+/// cov_nodes than their slice-off siblings at identical verdicts
+/// (bench_slice and its CI counter gate).
+Workload MakeSlicedMultiRelation(int size, int depth, int num_rels);
+
 /// Commuting-services family (the partial-order-reduction showcase):
 /// every task declares `width` artifact relations, each with ONE
 /// insert-only store service over its own ID variable — pairwise

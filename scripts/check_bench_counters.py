@@ -70,6 +70,18 @@ GATED = [
     # rows (the *_por_off.json differential baselines), which the
     # counter-skip rule below handles.
     "ample_reduced_successors",
+    # Property-directed slicing (VerifierOptions::slice): services and
+    # dimensions (relations + variables) dropped before the product
+    # VASS is built, plus the static analyzer's finding count. All
+    # three are pure functions of the input spec — any drift means the
+    # analyzer's liveness facts or the slicer's cone changed, which
+    # must come with a deliberate baseline re-record. Absent from the
+    # pre-slicer differential baselines (*_slice_off.json), which the
+    # counter-skip rule below handles; sliced_* are zero by
+    # construction in rows recorded with slicing off.
+    "sliced_services",
+    "sliced_dims",
+    "diagnostics_emitted",
 ]
 # Counters that must be EXACTLY ZERO in every run: lasso analysis runs
 # on the pruned graph itself (via cover-edges), so a single full-graph

@@ -1,0 +1,374 @@
+#include "analysis/analyzer.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "analysis/sat.h"
+#include "common/strings.h"
+
+namespace has {
+namespace {
+
+std::vector<VarSort> ScopeSorts(const VarScope& scope) {
+  std::vector<VarSort> sorts(static_cast<size_t>(scope.size()));
+  for (int v = 0; v < scope.size(); ++v) sorts[v] = scope.var(v).sort;
+  return sorts;
+}
+
+void AddCondVars(const CondPtr& c, std::set<int>* out) {
+  if (c == nullptr) return;
+  std::vector<int> vs;
+  c->CollectVars(&vs);
+  out->insert(vs.begin(), vs.end());
+}
+
+/// The task state right after opening: every non-input ID variable is
+/// null and every non-input numeric variable is 0 (run semantics); the
+/// root additionally starts under the global pre-condition. Input
+/// variables are left unconstrained — conservative, since the parent
+/// (or the external instance, for the root) chooses them.
+CondPtr InitCondition(const ArtifactSystem& system, TaskId t) {
+  const Task& task = system.task(t);
+  const std::vector<int> inputs = task.InputVars();
+  std::vector<CondPtr> cs;
+  for (int v = 0; v < task.vars().size(); ++v) {
+    if (std::find(inputs.begin(), inputs.end(), v) != inputs.end()) continue;
+    if (task.vars().var(v).sort == VarSort::kId) {
+      cs.push_back(Condition::IsNull(v));
+    } else {
+      cs.push_back(
+          Condition::Arith(LinearConstraint{LinearExpr::Var(v), Relop::kEq}));
+    }
+  }
+  if (task.is_root()) cs.push_back(system.global_pre());
+  return Condition::AndAll(cs);
+}
+
+SourceLoc ServiceLoc(const SpecLocations* locs, const Task& task,
+                     const std::string& service) {
+  return locs == nullptr ? SourceLoc{} : locs->Service(task.name(), service);
+}
+
+}  // namespace
+
+AnalysisResult AnalyzeSystem(
+    const ArtifactSystem& system,
+    const std::vector<std::pair<std::string, const HltlProperty*>>& properties,
+    const SpecLocations* locs) {
+  AnalysisResult res;
+  res.tasks.resize(static_cast<size_t>(system.num_tasks()));
+
+  // Variables each task's property nodes condition on (union over all
+  // given properties) — reads for the write-never-read check and roots
+  // of the slicing cone.
+  std::vector<std::set<int>> prop_vars(
+      static_cast<size_t>(system.num_tasks()));
+  for (const auto& [name, prop] : properties) {
+    (void)name;
+    for (int i = 0; i < prop->num_nodes(); ++i) {
+      const HltlNode& node = prop->node(i);
+      for (const HltlProp& p : node.props) {
+        if (p.kind == HltlProp::Kind::kCondition) {
+          AddCondVars(p.condition, &prop_vars[node.task]);
+        }
+      }
+    }
+  }
+
+  // Whether each task is openable in its parent's enablement graph
+  // (filled while analyzing the parent; pre-order guarantees the flag is
+  // ready when the child is analyzed).
+  std::vector<char> openable(static_cast<size_t>(system.num_tasks()), 0);
+  openable[system.root()] = 1;
+
+  for (TaskId t : system.PreOrder()) {
+    const Task& task = system.task(t);
+    TaskFacts& f = res.tasks[t];
+    const int num_services = static_cast<int>(task.services().size());
+    const int num_rels = task.num_set_relations();
+    f.service_dead.assign(static_cast<size_t>(num_services), 0);
+    f.service_unreachable.assign(static_cast<size_t>(num_services), 0);
+    f.relation_inserted.assign(static_cast<size_t>(num_rels), 0);
+    f.relation_retrieved.assign(static_cast<size_t>(num_rels), 0);
+    f.var_read.assign(static_cast<size_t>(task.vars().size()), 0);
+    f.task_open =
+        openable[t] != 0 &&
+        (task.is_root() || res.tasks[task.parent()].task_open);
+
+    const std::vector<VarSort> sorts = ScopeSorts(task.vars());
+    const std::vector<int> inputs = task.InputVars();
+    auto is_input = [&](int v) {
+      return std::find(inputs.begin(), inputs.end(), v) != inputs.end();
+    };
+
+    // --- intrinsically dead services: unsatisfiable conditions --------
+    std::vector<std::string> dead_reason(static_cast<size_t>(num_services));
+    for (int s = 0; s < num_services; ++s) {
+      const InternalService& svc = task.service(s);
+      if (!MaybeSatisfiable({svc.pre}, sorts)) {
+        f.service_dead[s] = 1;
+        dead_reason[s] = "pre-condition is unsatisfiable";
+        continue;
+      }
+      if (!MaybeSatisfiable({svc.post}, sorts)) {
+        f.service_dead[s] = 1;
+        dead_reason[s] = "post-condition is unsatisfiable";
+        continue;
+      }
+      // Joint check: pre on the current tuple, post on the next one.
+      // Input variables are stable under internal services (shared
+      // index); every other variable is re-decided, so the post reads a
+      // fresh copy.
+      std::vector<int> rename(static_cast<size_t>(task.vars().size()));
+      std::vector<VarSort> joint_sorts = sorts;
+      for (int v = 0; v < task.vars().size(); ++v) {
+        if (is_input(v)) {
+          rename[v] = v;
+        } else {
+          rename[v] = static_cast<int>(joint_sorts.size());
+          joint_sorts.push_back(sorts[static_cast<size_t>(v)]);
+        }
+      }
+      if (!MaybeSatisfiable({svc.pre, svc.post->MapVars(rename)},
+                            joint_sorts)) {
+        f.service_dead[s] = 1;
+        dead_reason[s] = "pre- and post-conditions are jointly unsatisfiable";
+      }
+    }
+
+    // --- reachability / relation-starvation fixpoint ------------------
+    // Removing a starved service can disconnect the enablement graph or
+    // starve further relations, so iterate to a fixpoint (monotone in
+    // the dead set; at most num_services rounds).
+    const CondPtr init = InitCondition(system, t);
+    std::vector<char> reached(static_cast<size_t>(num_services), 0);
+    std::vector<char> child_open(
+        static_cast<size_t>(task.children().size()), 0);
+    for (;;) {
+      std::fill(reached.begin(), reached.end(), 0);
+      std::fill(child_open.begin(), child_open.end(), 0);
+      if (f.task_open) {
+        // Enablement contexts: the opening state, the post-condition of
+        // any service that already fired (same-state conjunction — a
+        // sound single-step over-approximation), and the unconstrained
+        // state after a child task returned.
+        bool grew = true;
+        while (grew) {
+          grew = false;
+          std::vector<CondPtr> contexts = {init};
+          for (int s = 0; s < num_services; ++s) {
+            if (reached[s] && !f.service_dead[s]) {
+              contexts.push_back(task.service(s).post);
+            }
+          }
+          for (size_t ci = 0; ci < task.children().size(); ++ci) {
+            const Task& child = system.task(task.children()[ci]);
+            if (child_open[ci] &&
+                MaybeSatisfiable({child.closing_pre()},
+                                 ScopeSorts(child.vars()))) {
+              contexts.push_back(Condition::True());
+            }
+          }
+          for (int s = 0; s < num_services; ++s) {
+            if (reached[s] || f.service_dead[s]) continue;
+            for (const CondPtr& c : contexts) {
+              if (MaybeSatisfiable({c, task.service(s).pre}, sorts)) {
+                reached[s] = 1;
+                grew = true;
+                break;
+              }
+            }
+          }
+          for (size_t ci = 0; ci < task.children().size(); ++ci) {
+            if (child_open[ci]) continue;
+            const Task& child = system.task(task.children()[ci]);
+            for (const CondPtr& c : contexts) {
+              if (MaybeSatisfiable({c, child.opening_pre()}, sorts)) {
+                child_open[ci] = 1;
+                grew = true;
+                break;
+              }
+            }
+          }
+        }
+      }
+      std::fill(f.relation_inserted.begin(), f.relation_inserted.end(), 0);
+      for (int s = 0; s < num_services; ++s) {
+        if (f.service_dead[s] || !reached[s]) continue;
+        for (int r : task.service(s).insert_rels) f.relation_inserted[r] = 1;
+      }
+      bool changed = false;
+      for (int s = 0; s < num_services; ++s) {
+        if (f.service_dead[s] || !reached[s]) continue;
+        for (int r : task.service(s).retrieve_rels) {
+          if (!f.relation_inserted[r]) {
+            f.service_dead[s] = 1;
+            dead_reason[s] =
+                StrCat("retrieves from relation ", task.set_relations()[r].name,
+                       ", which no live service inserts into");
+            changed = true;
+            break;
+          }
+        }
+      }
+      if (!changed) break;
+    }
+    for (size_t ci = 0; ci < task.children().size(); ++ci) {
+      openable[task.children()[ci]] = child_open[ci];
+    }
+    for (int s = 0; s < num_services; ++s) {
+      if (!f.service_dead[s]) f.service_unreachable[s] = reached[s] ? 0 : 1;
+    }
+    for (int s = 0; s < num_services; ++s) {
+      if (!f.ServiceLive(s)) continue;
+      for (int r : task.service(s).retrieve_rels) f.relation_retrieved[r] = 1;
+    }
+
+    // --- diagnostics: services ----------------------------------------
+    for (int s = 0; s < num_services; ++s) {
+      const std::string& name = task.service(s).name;
+      if (f.service_dead[s]) {
+        res.diagnostics.push_back(
+            Diagnostic{DiagSeverity::kWarning, kDiagDeadService, task.name(),
+                       ServiceLoc(locs, task, name),
+                       StrCat("service ", name, " can never fire: ",
+                              dead_reason[s])});
+      } else if (f.service_unreachable[s]) {
+        res.diagnostics.push_back(Diagnostic{
+            DiagSeverity::kWarning, kDiagUnreachableService, task.name(),
+            ServiceLoc(locs, task, name),
+            f.task_open
+                ? StrCat("service ", name,
+                         " is never enabled from any reachable task state")
+                : StrCat("service ", name,
+                         " is never enabled (task never opens)")});
+      }
+    }
+
+    // --- diagnostics: relations inserted but never read ---------------
+    for (int r = 0; r < num_rels; ++r) {
+      if (f.relation_inserted[r] && !f.relation_retrieved[r]) {
+        res.diagnostics.push_back(Diagnostic{
+            DiagSeverity::kWarning, kDiagUnreadRelation, task.name(),
+            locs == nullptr
+                ? SourceLoc{}
+                : locs->Relation(task.name(), task.set_relations()[r].name),
+            StrCat("relation ", task.set_relations()[r].name,
+                   " is inserted into but never retrieved; its contents "
+                   "cannot affect the property")});
+      }
+    }
+
+    // --- diagnostics: write-never-read variables -----------------------
+    // Read positions: pre-conditions of live services; input variables
+    // in their post-conditions (an input keeps its value, so a post
+    // mention reads it; any other post mention constrains the freshly
+    // decided value — a write); the closing pre-condition; the opening
+    // pre-conditions of children (over this scope); the global
+    // pre-condition (root); property conditions of this task's nodes;
+    // parent-side f_in variables of children; own-side f_out variables
+    // (returned on close); and tuple variables of relations inserted by
+    // live services (an insert reads the tuple at the pre-state).
+    std::set<int> read;
+    std::set<int> mentioned;
+    for (int s = 0; s < num_services; ++s) {
+      const InternalService& svc = task.service(s);
+      AddCondVars(svc.pre, &mentioned);
+      AddCondVars(svc.post, &mentioned);
+      for (int r : svc.insert_rels) {
+        mentioned.insert(task.set_relations()[r].vars.begin(),
+                         task.set_relations()[r].vars.end());
+      }
+      for (int r : svc.retrieve_rels) {
+        mentioned.insert(task.set_relations()[r].vars.begin(),
+                         task.set_relations()[r].vars.end());
+      }
+      if (!f.ServiceLive(s)) continue;
+      AddCondVars(svc.pre, &read);
+      std::set<int> post_vars;
+      AddCondVars(svc.post, &post_vars);
+      for (int v : post_vars) {
+        if (is_input(v)) read.insert(v);
+      }
+      for (int r : svc.insert_rels) {
+        read.insert(task.set_relations()[r].vars.begin(),
+                    task.set_relations()[r].vars.end());
+      }
+    }
+    AddCondVars(task.closing_pre(), &read);
+    AddCondVars(task.closing_pre(), &mentioned);
+    if (task.is_root()) {
+      AddCondVars(system.global_pre(), &read);
+      AddCondVars(system.global_pre(), &mentioned);
+    }
+    for (TaskId c : task.children()) {
+      const Task& child = system.task(c);
+      AddCondVars(child.opening_pre(), &read);
+      AddCondVars(child.opening_pre(), &mentioned);
+      for (const auto& [own, parent_var] : child.fin()) {
+        (void)own;
+        read.insert(parent_var);
+        mentioned.insert(parent_var);
+      }
+      for (const auto& [parent_var, own] : child.fout()) {
+        (void)own;
+        mentioned.insert(parent_var);
+      }
+    }
+    for (const auto& [own, parent_var] : task.fin()) {
+      (void)parent_var;
+      mentioned.insert(own);
+    }
+    for (const auto& [parent_var, own] : task.fout()) {
+      (void)parent_var;
+      read.insert(own);
+      mentioned.insert(own);
+    }
+    read.insert(prop_vars[t].begin(), prop_vars[t].end());
+    mentioned.insert(prop_vars[t].begin(), prop_vars[t].end());
+    for (int v = 0; v < task.vars().size(); ++v) {
+      if (read.count(v) != 0) {
+        f.var_read[v] = 1;
+        continue;
+      }
+      const std::string& name = task.vars().var(v).name;
+      res.diagnostics.push_back(Diagnostic{
+          DiagSeverity::kWarning, kDiagWriteNeverRead, task.name(),
+          locs == nullptr ? SourceLoc{} : locs->Var(task.name(), name),
+          mentioned.count(v) != 0
+              ? StrCat("variable ", name, " is written but never read")
+              : StrCat("variable ", name, " is never used")});
+    }
+  }
+
+  // --- diagnostics: vacuous property atoms -----------------------------
+  for (const auto& [name, prop] : properties) {
+    for (int i = 0; i < prop->num_nodes(); ++i) {
+      const HltlNode& node = prop->node(i);
+      const Task& task = system.task(node.task);
+      const std::vector<VarSort> sorts = ScopeSorts(task.vars());
+      for (const HltlProp& p : node.props) {
+        if (p.kind != HltlProp::Kind::kCondition) continue;
+        const char* verdict = nullptr;
+        if (!MaybeSatisfiable({p.condition}, sorts)) {
+          verdict = "always false";
+        } else if (!MaybeSatisfiable({Condition::Not(p.condition)}, sorts)) {
+          verdict = "always true";
+        }
+        if (verdict != nullptr) {
+          res.diagnostics.push_back(Diagnostic{
+              DiagSeverity::kWarning, kDiagVacuousAtom, task.name(),
+              locs == nullptr ? SourceLoc{} : locs->Property(name),
+              StrCat("property ", name, ": atom {",
+                     p.condition->ToString(task.vars(), &system.schema()),
+                     "} is ", verdict)});
+        }
+      }
+    }
+  }
+
+  return res;
+}
+
+}  // namespace has

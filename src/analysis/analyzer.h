@@ -1,0 +1,72 @@
+// Static spec analyzer (the pass between model validation and engine
+// construction). Computes, per task, which internal services can ever
+// fire (dead-service / unreachable-service detection through the
+// conservative satisfiability oracle in analysis/sat.h), which artifact
+// relations are ever usefully read, and which variables are ever read —
+// emitting structured diagnostics for authoring errors — and exposes
+// those facts to the property-directed slicer (analysis/slice.h).
+//
+// Every "never" claim below is backed by a proof: the oracle only
+// answers UNSAT when the condition is unsatisfiable over the HAS
+// semantics, and the enablement graph over-approximates reachability
+// (it ignores marking constraints and path feasibility beyond single
+// steps), so a service it cannot reach is truly unreachable. Gaps run
+// the other way only — a spec may be flagged clean and still contain
+// dead code.
+#ifndef HAS_ANALYSIS_ANALYZER_H_
+#define HAS_ANALYSIS_ANALYZER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "hltl/hltl.h"
+#include "model/artifact_system.h"
+
+namespace has {
+
+/// Static facts about one task, indexed like the task's own tables.
+struct TaskFacts {
+  /// Service can never fire: unsatisfiable pre/post (alone or jointly)
+  /// or a retrieve from a relation no live service inserts into.
+  std::vector<char> service_dead;
+  /// Service is satisfiable but never enabled along any path of the
+  /// service-enablement graph (or its task never opens).
+  std::vector<char> service_unreachable;
+  /// Relation is inserted into by a live service.
+  std::vector<char> relation_inserted;
+  /// Relation is retrieved from by a live service.
+  std::vector<char> relation_retrieved;
+  /// Variable appears in a read position of a live artifact (see
+  /// analyzer.cc for the exact read-set definition).
+  std::vector<char> var_read;
+  /// The task can be opened at all (root: always; others: the parent's
+  /// enablement graph reaches a state satisfying the opening
+  /// pre-condition, and the parent itself can open).
+  bool task_open = true;
+
+  bool ServiceLive(int s) const {
+    return !service_dead[s] && !service_unreachable[s];
+  }
+};
+
+struct AnalysisResult {
+  std::vector<TaskFacts> tasks;  ///< indexed by TaskId
+  std::vector<Diagnostic> diagnostics;
+};
+
+/// Analyzes a validated system against zero or more named properties
+/// (all properties of a parsed spec, or the single property being
+/// verified). Property names only label vacuous-atom messages; the
+/// relation-visibility and variable-read facts take the union over all
+/// given properties. `locs` (optional) attaches source positions to the
+/// emitted diagnostics.
+AnalysisResult AnalyzeSystem(
+    const ArtifactSystem& system,
+    const std::vector<std::pair<std::string, const HltlProperty*>>& properties,
+    const SpecLocations* locs = nullptr);
+
+}  // namespace has
+
+#endif  // HAS_ANALYSIS_ANALYZER_H_

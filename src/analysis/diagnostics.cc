@@ -1,0 +1,37 @@
+#include "analysis/diagnostics.h"
+
+#include "common/strings.h"
+
+namespace has {
+
+const char* DiagSeverityName(DiagSeverity s) {
+  switch (s) {
+    case DiagSeverity::kWarning:
+      return "warning";
+    case DiagSeverity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+std::string RenderDiagnostic(const Diagnostic& d, const SpecLocations* locs) {
+  std::string out;
+  if (locs != nullptr) {
+    std::string where = locs->Render(d.loc);
+    if (!where.empty()) out = StrCat(where, ": ");
+  }
+  out = StrCat(out, DiagSeverityName(d.severity), ": [", d.code, "] ");
+  if (!d.task.empty()) out = StrCat(out, "task ", d.task, ": ");
+  return StrCat(out, d.message);
+}
+
+std::string RenderDiagnostics(const std::vector<Diagnostic>& diagnostics,
+                              const SpecLocations* locs) {
+  std::string out;
+  for (const Diagnostic& d : diagnostics) {
+    out = StrCat(out, RenderDiagnostic(d, locs), "\n");
+  }
+  return out;
+}
+
+}  // namespace has

@@ -1,0 +1,51 @@
+// Structured diagnostics for the static spec analyzer (the linter half
+// of src/analysis/). Each diagnostic carries a stable code so CI can
+// match committed expectations (examples/specs/*.diag) and the
+// spec-fuzzer roadmap item can assert analyzer-cleanliness; the codes
+// are documented in docs/ARCHITECTURE.md ("Static spec analysis &
+// slicing").
+#ifndef HAS_ANALYSIS_DIAGNOSTICS_H_
+#define HAS_ANALYSIS_DIAGNOSTICS_H_
+
+#include <string>
+#include <vector>
+
+#include "model/source_loc.h"
+
+namespace has {
+
+enum class DiagSeverity : uint8_t {
+  kWarning,  ///< suspicious but verifiable spec
+  kError,    ///< the spec cannot mean what it says
+};
+
+const char* DiagSeverityName(DiagSeverity s);
+
+/// Stable diagnostic codes (see docs/ARCHITECTURE.md for the table).
+/// String constants instead of an enum so printers, expectations, and
+/// tests match on the exact spelling.
+inline constexpr char kDiagDeadService[] = "dead-service";
+inline constexpr char kDiagUnreachableService[] = "unreachable-service";
+inline constexpr char kDiagWriteNeverRead[] = "write-never-read";
+inline constexpr char kDiagUnreadRelation[] = "unread-relation";
+inline constexpr char kDiagVacuousAtom[] = "vacuous-atom";
+
+struct Diagnostic {
+  DiagSeverity severity = DiagSeverity::kWarning;
+  const char* code = "";
+  /// Owning task name; empty for system- or property-level findings.
+  std::string task;
+  SourceLoc loc;
+  std::string message;
+};
+
+/// One rendered line: "[file:line:] severity: [code] task T: message".
+std::string RenderDiagnostic(const Diagnostic& d, const SpecLocations* locs);
+
+/// All diagnostics, one line each, in emission order.
+std::string RenderDiagnostics(const std::vector<Diagnostic>& diagnostics,
+                              const SpecLocations* locs);
+
+}  // namespace has
+
+#endif  // HAS_ANALYSIS_DIAGNOSTICS_H_

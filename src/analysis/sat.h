@@ -1,0 +1,40 @@
+// Conservative satisfiability for conjunctions of quantifier-free
+// spec conditions — the decision oracle behind the dead-service and
+// vacuous-atom diagnostics and the service-enablement reachability
+// graph (analysis/analyzer.cc).
+//
+// The check is COMPLETE for UNSAT claims within its budget and
+// conservative everywhere else: a `true` answer means "maybe
+// satisfiable" (the analyzer then stays silent / keeps the service),
+// while `false` is a proof of unsatisfiability over the HAS semantics —
+// ID variables range over an infinite domain plus null, numeric
+// variables over Q (never null), relation atoms over arbitrary
+// key-consistent instances, arithmetic over Q via Fourier–Motzkin.
+// Every gap (atom budget exceeded, negative relation atoms) errs toward
+// `true`, so no diagnostic and no slice decision ever rests on an
+// approximation.
+#ifndef HAS_ANALYSIS_SAT_H_
+#define HAS_ANALYSIS_SAT_H_
+
+#include <vector>
+
+#include "expr/condition.h"
+
+namespace has {
+
+/// Decides whether the conjunction of `conjuncts` may be satisfiable.
+/// `sorts` gives the sort of every variable index the conditions may
+/// mention (a task scope, possibly extended with renamed post-state
+/// variables — see analyzer.cc's joint pre/post check). Enumerates
+/// truth assignments to the distinct atoms (equality logic via
+/// union-find, linear arithmetic via Fourier–Motzkin, positive relation
+/// atoms contribute non-null arguments and the key dependency); returns
+/// true ("unknown") outright when there are more than `max_atoms`
+/// distinct atoms.
+bool MaybeSatisfiable(const std::vector<CondPtr>& conjuncts,
+                      const std::vector<VarSort>& sorts,
+                      int max_atoms = 16);
+
+}  // namespace has
+
+#endif  // HAS_ANALYSIS_SAT_H_

@@ -1,0 +1,229 @@
+#include "analysis/slice.h"
+
+#include <set>
+#include <utility>
+
+namespace has {
+namespace {
+
+void MarkCondVars(const CondPtr& c, std::vector<char>* keep) {
+  if (c == nullptr) return;
+  std::vector<int> vs;
+  c->CollectVars(&vs);
+  for (int v : vs) (*keep)[static_cast<size_t>(v)] = 1;
+}
+
+}  // namespace
+
+SlicePlan BuildSlicePlan(const ArtifactSystem& system,
+                         const HltlProperty& property,
+                         const AnalysisResult& analysis) {
+  SlicePlan plan;
+  plan.tasks.resize(static_cast<size_t>(system.num_tasks()));
+
+  // Internal services the property names stay even when statically
+  // never-firing: their propositions must remain resolvable (and stay
+  // identically false, exactly as in the unsliced system).
+  std::vector<std::set<int>> prop_services(
+      static_cast<size_t>(system.num_tasks()));
+  for (int i = 0; i < property.num_nodes(); ++i) {
+    for (const HltlProp& p : property.node(i).props) {
+      if (p.kind == HltlProp::Kind::kService &&
+          p.service.kind == ServiceRef::Kind::kInternal) {
+        prop_services[p.service.task].insert(p.service.index);
+      }
+    }
+  }
+
+  for (TaskId t = 0; t < system.num_tasks(); ++t) {
+    const Task& task = system.task(t);
+    const TaskFacts& facts = analysis.tasks[t];
+    SlicePlan::TaskPlan& tp = plan.tasks[t];
+    const int num_services = static_cast<int>(task.services().size());
+    const int num_rels = task.num_set_relations();
+
+    tp.keep_service.assign(static_cast<size_t>(num_services), 0);
+    for (int s = 0; s < num_services; ++s) {
+      if (facts.ServiceLive(s) || prop_services[t].count(s) != 0) {
+        tp.keep_service[s] = 1;
+      } else {
+        ++plan.dropped_services;
+      }
+    }
+
+    // A relation matters iff some kept service retrieves from it —
+    // either a live read of its contents, or the empty-counter guard
+    // that keeps a starved-but-property-named service disabled. Inserts
+    // alone never gate anything and are stripped below.
+    tp.keep_relation.assign(static_cast<size_t>(num_rels), 0);
+    for (int r = 0; r < num_rels; ++r) {
+      for (int s = 0; s < num_services; ++s) {
+        if (tp.keep_service[s] && task.service(s).RetrievesFrom(r)) {
+          tp.keep_relation[r] = 1;
+          break;
+        }
+      }
+      if (!tp.keep_relation[r]) ++plan.dropped_relations;
+    }
+  }
+
+  // Variable cone: everything mentioned by a kept artifact. Interface
+  // pairs and opening/closing/global pre-conditions are always kept
+  // (tasks are never dropped), so their variables are unconditional;
+  // an opening pre-condition contributes to the PARENT's scope.
+  for (TaskId t = 0; t < system.num_tasks(); ++t) {
+    plan.tasks[t].keep_var.assign(
+        static_cast<size_t>(system.task(t).vars().size()), 0);
+  }
+  for (TaskId t = 0; t < system.num_tasks(); ++t) {
+    const Task& task = system.task(t);
+    std::vector<char>& keep = plan.tasks[t].keep_var;
+    for (const auto& [own, parent_var] : task.fin()) {
+      keep[static_cast<size_t>(own)] = 1;
+      if (!task.is_root()) {
+        plan.tasks[task.parent()].keep_var[static_cast<size_t>(parent_var)] =
+            1;
+      }
+    }
+    for (const auto& [parent_var, own] : task.fout()) {
+      keep[static_cast<size_t>(own)] = 1;
+      plan.tasks[task.parent()].keep_var[static_cast<size_t>(parent_var)] = 1;
+    }
+    if (!task.is_root()) {
+      MarkCondVars(task.opening_pre(), &plan.tasks[task.parent()].keep_var);
+    }
+    MarkCondVars(task.closing_pre(), &keep);
+    if (task.is_root()) MarkCondVars(system.global_pre(), &keep);
+    for (int s = 0; s < static_cast<int>(task.services().size()); ++s) {
+      if (!plan.tasks[t].keep_service[s]) continue;
+      MarkCondVars(task.service(s).pre, &keep);
+      MarkCondVars(task.service(s).post, &keep);
+    }
+    for (int r = 0; r < task.num_set_relations(); ++r) {
+      if (!plan.tasks[t].keep_relation[r]) continue;
+      for (int v : task.set_relations()[r].vars) {
+        keep[static_cast<size_t>(v)] = 1;
+      }
+    }
+  }
+  for (int i = 0; i < property.num_nodes(); ++i) {
+    const HltlNode& node = property.node(i);
+    for (const HltlProp& p : node.props) {
+      if (p.kind == HltlProp::Kind::kCondition) {
+        MarkCondVars(p.condition, &plan.tasks[node.task].keep_var);
+      }
+    }
+  }
+  for (TaskId t = 0; t < system.num_tasks(); ++t) {
+    for (char k : plan.tasks[t].keep_var) {
+      if (!k) ++plan.dropped_vars;
+    }
+  }
+  return plan;
+}
+
+SlicedSpec ApplySlice(const ArtifactSystem& system,
+                      const HltlProperty& property, const SlicePlan& plan) {
+  SlicedSpec out;
+  out.system.schema() = system.schema();
+
+  std::vector<std::vector<int>> var_map(
+      static_cast<size_t>(system.num_tasks()));
+  std::vector<std::vector<int>> rel_map(
+      static_cast<size_t>(system.num_tasks()));
+  std::vector<std::vector<int>> svc_map(
+      static_cast<size_t>(system.num_tasks()));
+
+  // Tasks are stored in creation order with parents before children, so
+  // a front-to-back walk preserves every TaskId and sees the parent's
+  // variable map completed before any child needs it.
+  for (TaskId t = 0; t < system.num_tasks(); ++t) {
+    const Task& task = system.task(t);
+    const SlicePlan::TaskPlan& tp = plan.tasks[t];
+    TaskId nt = out.system.AddTask(task.name(), task.parent());
+    Task& dst = out.system.task(nt);
+
+    var_map[t].assign(static_cast<size_t>(task.vars().size()), -1);
+    for (int v = 0; v < task.vars().size(); ++v) {
+      if (tp.keep_var[v]) {
+        var_map[t][v] =
+            dst.vars().AddVar(task.vars().var(v).name, task.vars().var(v).sort);
+      }
+    }
+
+    rel_map[t].assign(static_cast<size_t>(task.num_set_relations()), -1);
+    for (int r = 0; r < task.num_set_relations(); ++r) {
+      if (!tp.keep_relation[r]) continue;
+      std::vector<int> tuple;
+      for (int v : task.set_relations()[r].vars) {
+        tuple.push_back(var_map[t][v]);
+      }
+      rel_map[t][r] =
+          dst.AddSetRelation(task.set_relations()[r].name, std::move(tuple));
+    }
+
+    for (const auto& [own, parent_var] : task.fin()) {
+      dst.AddInput(var_map[t][own], task.is_root()
+                                        ? parent_var
+                                        : var_map[task.parent()][parent_var]);
+    }
+    for (const auto& [parent_var, own] : task.fout()) {
+      dst.AddOutput(var_map[task.parent()][parent_var], var_map[t][own]);
+    }
+    dst.SetOpeningPre(task.is_root()
+                          ? task.opening_pre()
+                          : task.opening_pre()->MapVars(var_map[task.parent()]));
+    dst.SetClosingPre(task.closing_pre()->MapVars(var_map[t]));
+
+    svc_map[t].assign(task.services().size(), -1);
+    for (int s = 0; s < static_cast<int>(task.services().size()); ++s) {
+      if (!tp.keep_service[s]) continue;
+      const InternalService& svc = task.service(s);
+      InternalService ns;
+      ns.name = svc.name;
+      ns.pre = svc.pre->MapVars(var_map[t]);
+      ns.post = svc.post->MapVars(var_map[t]);
+      for (int r : svc.insert_rels) {
+        if (rel_map[t][r] >= 0) ns.insert_rels.push_back(rel_map[t][r]);
+      }
+      for (int r : svc.retrieve_rels) {
+        // Retrieved relations are kept by construction (keep_relation
+        // rule), so this never drops a gate.
+        ns.retrieve_rels.push_back(rel_map[t][r]);
+      }
+      svc_map[t][s] = dst.AddInternalService(std::move(ns));
+    }
+  }
+  out.system.SetGlobalPre(
+      system.global_pre()->MapVars(var_map[system.root()]));
+
+  for (int i = 0; i < property.num_nodes(); ++i) {
+    const HltlNode& node = property.node(i);
+    HltlNode n;
+    n.task = node.task;
+    n.skeleton = node.skeleton;
+    for (const HltlProp& p : node.props) {
+      switch (p.kind) {
+        case HltlProp::Kind::kCondition:
+          n.props.push_back(
+              HltlProp::Cond(p.condition->MapVars(var_map[node.task])));
+          break;
+        case HltlProp::Kind::kService:
+          n.props.push_back(
+              p.service.kind == ServiceRef::Kind::kInternal
+                  ? HltlProp::Service(ServiceRef::Internal(
+                        p.service.task,
+                        svc_map[p.service.task][p.service.index]))
+                  : p);
+          break;
+        case HltlProp::Kind::kChildFormula:
+          n.props.push_back(p);
+          break;
+      }
+    }
+    out.property.AddNode(std::move(n));
+  }
+  return out;
+}
+
+}  // namespace has

@@ -1,0 +1,70 @@
+// Property-directed cone-of-influence slicing (VerifierOptions::slice,
+// default ON). Given the analyzer's liveness facts and the single
+// property under verification, computes which services, artifact
+// relations, and variables can influence the verdict, and rebuilds the
+// system/property pair without the rest — fewer services to expand and
+// smaller counter/ib-bit dimensions before the product VASS is built.
+//
+// Soundness (verdict preservation) rests on three observations, spelled
+// out in docs/ARCHITECTURE.md:
+//   1. A statically dead or unreachable service never fires in any run,
+//      so removing it removes no run — unless the property names it,
+//      in which case it is kept (its proposition stays identically
+//      false either way).
+//   2. Inserts impose no enabledness constraint; only retrieves consult
+//      an artifact relation. A relation no kept service retrieves from
+//      is therefore invisible: dropping it (and stripping its insert
+//      ops) changes neither enabledness nor any observation.
+//   3. A variable mentioned in no kept condition, tuple, or interface
+//      pair is unconstrained and unobserved; runs of the sliced system
+//      extend to runs of the original (choose arbitrary values) with
+//      identical observations, and conversely project. Interface
+//      variables (f_in / f_out, both sides) are always kept.
+#ifndef HAS_ANALYSIS_SLICE_H_
+#define HAS_ANALYSIS_SLICE_H_
+
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "hltl/hltl.h"
+#include "model/artifact_system.h"
+
+namespace has {
+
+struct SlicePlan {
+  struct TaskPlan {
+    std::vector<char> keep_service;
+    std::vector<char> keep_relation;
+    std::vector<char> keep_var;
+  };
+  std::vector<TaskPlan> tasks;  ///< indexed by TaskId
+  int dropped_services = 0;
+  int dropped_relations = 0;
+  int dropped_vars = 0;
+
+  bool IsNoOp() const {
+    return dropped_services == 0 && dropped_relations == 0 &&
+           dropped_vars == 0;
+  }
+};
+
+/// Computes the keep-sets for verifying `property` against `system`,
+/// using facts from an AnalyzeSystem run that included this property.
+SlicePlan BuildSlicePlan(const ArtifactSystem& system,
+                         const HltlProperty& property,
+                         const AnalysisResult& analysis);
+
+struct SlicedSpec {
+  ArtifactSystem system;
+  HltlProperty property;
+};
+
+/// Rebuilds the system and property according to `plan`. Task ids are
+/// preserved; variable, relation, and service indices are compacted.
+/// The caller re-validates the result (Verify does).
+SlicedSpec ApplySlice(const ArtifactSystem& system,
+                      const HltlProperty& property, const SlicePlan& plan);
+
+}  // namespace has
+
+#endif  // HAS_ANALYSIS_SLICE_H_

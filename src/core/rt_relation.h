@@ -77,6 +77,16 @@ struct RtStats {
   /// its cover-edges, so this is ALWAYS 0 now; the counter is kept as
   /// a regression tripwire (tests and the CI bench gate assert zero).
   size_t full_graph_builds = 0;
+  /// Static analysis / slicing accounting (filled by Verify, not the
+  /// engine; deterministic functions of the spec+property, invariant
+  /// under shard count, POR, and pruning): internal services dropped by
+  /// the cone-of-influence slice, dimensions removed (dropped artifact
+  /// relations + dropped variables), and diagnostics the analyzer
+  /// emitted. The slice counters are 0 with VerifierOptions::slice off;
+  /// diagnostics_emitted counts whenever the analyzer runs (always).
+  size_t sliced_services = 0;
+  size_t sliced_dims = 0;
+  size_t diagnostics_emitted = 0;
   bool truncated = false;
 };
 

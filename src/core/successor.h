@@ -80,6 +80,20 @@ struct VerifierOptions {
   /// node identity because the ample choice is a pure function of the
   /// state — but counter counts (cov_nodes, cov_edges, ...) shrink.
   bool por = true;
+  /// Property-directed cone-of-influence slicing (analysis/slice.h):
+  /// after validation and static analysis, drop services that can never
+  /// fire, artifact relations no kept service retrieves from, and
+  /// variables outside the property's cone before the product VASS is
+  /// built. Verdicts are identical with the knob on or off, on every
+  /// family and at every shard count (differential-gated like POR), but
+  /// counter dimensions and node counts shrink on sliceable specs.
+  /// Counterexample TEXT may omit sliced variables.
+  bool slice = true;
+  /// Werror-style escalation for the static analyzer: any diagnostic
+  /// (dead service, unreachable service, write-never-read variable,
+  /// unread relation, vacuous property atom) aborts verification
+  /// instead of being reported in VerifyResult::diagnostics.
+  bool strict_analysis = false;
 };
 
 /// A symbolic configuration of one task: equality component + cell.

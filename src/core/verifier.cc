@@ -1,5 +1,9 @@
 #include "core/verifier.h"
 
+#include <optional>
+
+#include "analysis/analyzer.h"
+#include "analysis/slice.h"
 #include "core/counterexample.h"
 
 #include "common/strings.h"
@@ -113,21 +117,55 @@ VerifyResult Verify(const ArtifactSystem& system,
     HAS_CHECK_MSG(s.ok(), StrCat("invalid property: ", s.ToString()));
   }
 
-  HltlProperty negated = property.Negated();
-  result.used_arithmetic = SystemUsesArithmetic(system, property);
+  // Static analysis (diagnostics always; slicing behind options.slice).
+  AnalysisResult analysis = AnalyzeSystem(system, {{"property", &property}});
+  result.diagnostics = analysis.diagnostics;
+  if (options.strict_analysis) {
+    HAS_CHECK_MSG(result.diagnostics.empty(),
+                  StrCat("strict_analysis: ",
+                         RenderDiagnostics(result.diagnostics, nullptr)));
+  }
+
+  // The engine runs on the sliced copies when the plan drops anything;
+  // the verdict is identical either way (differential-gated like POR).
+  std::optional<SlicedSpec> sliced;
+  if (options.slice) {
+    SlicePlan plan = BuildSlicePlan(system, property, analysis);
+    if (!plan.IsNoOp()) {
+      sliced = ApplySlice(system, property, plan);
+      Status s = ValidateSystem(sliced->system);
+      HAS_CHECK_MSG(s.ok(), StrCat("invalid sliced system: ", s.ToString()));
+      s = sliced->property.Validate(sliced->system);
+      HAS_CHECK_MSG(s.ok(), StrCat("invalid sliced property: ", s.ToString()));
+      result.stats.sliced_services =
+          static_cast<size_t>(plan.dropped_services);
+      result.stats.sliced_dims = static_cast<size_t>(plan.dropped_relations +
+                                                     plan.dropped_vars);
+    }
+  }
+  const ArtifactSystem& sys = sliced.has_value() ? sliced->system : system;
+  const HltlProperty& prop = sliced.has_value() ? sliced->property : property;
+
+  HltlProperty negated = prop.Negated();
+  result.used_arithmetic = SystemUsesArithmetic(sys, prop);
   std::optional<Hcd> hcd;
   if (result.used_arithmetic) {
-    hcd = BuildSystemHcd(system, negated);
+    hcd = BuildSystemHcd(sys, negated);
     result.hcd_polys = hcd->TotalPolys();
   }
 
-  RtEngine engine(&system, &negated, options,
+  RtEngine engine(&sys, &negated, options,
                   hcd.has_value() ? &*hcd : nullptr);
   RtEngine::RootWitness witness = engine.CheckRoot();
+  const size_t sliced_services = result.stats.sliced_services;
+  const size_t sliced_dims = result.stats.sliced_dims;
   result.stats = engine.stats();
+  result.stats.sliced_services = sliced_services;
+  result.stats.sliced_dims = sliced_dims;
+  result.stats.diagnostics_emitted = result.diagnostics.size();
   if (witness.satisfiable) {
     result.verdict = Verdict::kViolated;
-    result.counterexample = FormatCounterexample(engine, witness, system);
+    result.counterexample = FormatCounterexample(engine, witness, sys);
   } else if (engine.stats().truncated) {
     result.verdict = Verdict::kInconclusive;
   } else {

@@ -8,7 +8,9 @@
 #define HAS_CORE_VERIFIER_H_
 
 #include <string>
+#include <vector>
 
+#include "analysis/diagnostics.h"
 #include "core/rt_relation.h"
 #include "model/validate.h"
 
@@ -32,6 +34,10 @@ struct VerifyResult {
   /// True iff the arithmetic (cell) machinery was engaged.
   bool used_arithmetic = false;
   int hcd_polys = 0;
+  /// Static-analyzer findings for the verified spec (analysis/). Never
+  /// affects the verdict unless VerifierOptions::strict_analysis, which
+  /// aborts on any finding.
+  std::vector<Diagnostic> diagnostics;
 };
 
 /// Model-checks `property` against `system`. With

@@ -1,0 +1,97 @@
+// Source positions for spec-level diagnostics. The lexer already knows
+// line/column for every token; the parser records where each named
+// entity (task, service, relation, variable, property) was declared so
+// the validator (model/validate.cc) and the static analyzer
+// (analysis/analyzer.cc) can report `file:line:` uniformly instead of
+// bare entity names. The model layer itself never requires locations —
+// every consumer takes `const SpecLocations*` defaulting to nullptr, so
+// programmatically-built systems keep their exact pre-location error
+// strings.
+#ifndef HAS_MODEL_SOURCE_LOC_H_
+#define HAS_MODEL_SOURCE_LOC_H_
+
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace has {
+
+/// A 1-based position in a spec source; line 0 means "unknown".
+struct SourceLoc {
+  int line = 0;
+  int column = 0;
+
+  bool known() const { return line > 0; }
+};
+
+/// Declaration positions of a parsed spec's named entities, keyed by the
+/// names that model-layer diagnostics already use (task names are
+/// system-unique; services/relations/variables are task-unique). Filled
+/// by spec/parser.cc; read through the lookup helpers, which return an
+/// unknown location for entities that were never recorded (e.g. the
+/// implicit default relation of programmatic builders).
+class SpecLocations {
+ public:
+  /// Source file name rendered in front of `line:`; may stay empty
+  /// (in-memory specs), in which case positions render as "<spec>".
+  void set_file(std::string file) { file_ = std::move(file); }
+  const std::string& file() const { return file_; }
+
+  void SetTask(const std::string& task, SourceLoc loc) {
+    map_["t/" + task] = loc;
+  }
+  void SetService(const std::string& task, const std::string& service,
+                  SourceLoc loc) {
+    map_["s/" + task + "/" + service] = loc;
+  }
+  void SetRelation(const std::string& task, const std::string& relation,
+                   SourceLoc loc) {
+    map_["r/" + task + "/" + relation] = loc;
+  }
+  void SetVar(const std::string& task, const std::string& var,
+              SourceLoc loc) {
+    map_["v/" + task + "/" + var] = loc;
+  }
+  void SetProperty(const std::string& property, SourceLoc loc) {
+    map_["p/" + property] = loc;
+  }
+
+  SourceLoc Task(const std::string& task) const {
+    return Get("t/" + task);
+  }
+  SourceLoc Service(const std::string& task,
+                    const std::string& service) const {
+    return Get("s/" + task + "/" + service);
+  }
+  SourceLoc Relation(const std::string& task,
+                     const std::string& relation) const {
+    return Get("r/" + task + "/" + relation);
+  }
+  SourceLoc Var(const std::string& task, const std::string& var) const {
+    return Get("v/" + task + "/" + var);
+  }
+  SourceLoc Property(const std::string& property) const {
+    return Get("p/" + property);
+  }
+
+  /// "file:line" (or "<spec>:line" when no file name is known); empty
+  /// for unknown locations so callers can prefix-or-skip in one step.
+  std::string Render(SourceLoc loc) const {
+    if (!loc.known()) return "";
+    return (file_.empty() ? "<spec>" : file_) + ":" +
+           std::to_string(loc.line);
+  }
+
+ private:
+  SourceLoc Get(const std::string& key) const {
+    auto it = map_.find(key);
+    return it == map_.end() ? SourceLoc{} : it->second;
+  }
+
+  std::string file_;
+  std::unordered_map<std::string, SourceLoc> map_;
+};
+
+}  // namespace has
+
+#endif  // HAS_MODEL_SOURCE_LOC_H_

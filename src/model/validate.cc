@@ -10,9 +10,24 @@ namespace has {
 namespace {
 
 void CheckTask(const ArtifactSystem& system, const Task& t,
-               std::vector<std::string>* errors) {
+               const SpecLocations* locs, std::vector<std::string>* errors) {
+  // Every message is anchored at the most specific declaration whose
+  // location is known: the relation or service at fault where there is
+  // one, the task header otherwise. Without locations the wording is
+  // byte-identical to the historical output.
+  auto error_at = [&](SourceLoc loc, const std::string& msg) {
+    std::string where = locs == nullptr ? std::string() : locs->Render(loc);
+    errors->push_back(StrCat(where.empty() ? "" : StrCat(where, ": "),
+                             "task ", t.name(), ": ", msg));
+  };
   auto error = [&](const std::string& msg) {
-    errors->push_back(StrCat("task ", t.name(), ": ", msg));
+    error_at(locs == nullptr ? SourceLoc{} : locs->Task(t.name()), msg);
+  };
+  auto rel_loc = [&](const std::string& rel) {
+    return locs == nullptr ? SourceLoc{} : locs->Relation(t.name(), rel);
+  };
+  auto svc_loc = [&](const std::string& svc) {
+    return locs == nullptr ? SourceLoc{} : locs->Service(t.name(), svc);
   };
   const DatabaseSchema& schema = system.schema();
 
@@ -24,26 +39,31 @@ void CheckTask(const ArtifactSystem& system, const Task& t,
     std::set<std::string> names;
     for (const SetRelation& rel : t.set_relations()) {
       if (!names.insert(rel.name).second) {
-        error(StrCat("duplicate artifact relation name ", rel.name));
+        error_at(rel_loc(rel.name),
+                 StrCat("duplicate artifact relation name ", rel.name));
       }
       std::set<int> seen;
       for (int v : rel.vars) {
         if (v < 0 || v >= t.vars().size()) {
-          error(StrCat("relation ", rel.name, ": set variable index ", v,
-                       " out of scope"));
+          error_at(rel_loc(rel.name),
+                   StrCat("relation ", rel.name, ": set variable index ", v,
+                          " out of scope"));
           continue;
         }
         if (!seen.insert(v).second) {
-          error(StrCat("relation ", rel.name, ": duplicate set variable ",
-                       t.vars().var(v).name));
+          error_at(rel_loc(rel.name),
+                   StrCat("relation ", rel.name, ": duplicate set variable ",
+                          t.vars().var(v).name));
         }
         if (t.vars().var(v).sort != VarSort::kId) {
-          error(StrCat("relation ", rel.name, ": set variable ",
-                       t.vars().var(v).name, " must be an ID variable"));
+          error_at(rel_loc(rel.name),
+                   StrCat("relation ", rel.name, ": set variable ",
+                          t.vars().var(v).name, " must be an ID variable"));
         }
       }
       if (rel.vars.empty()) {
-        error(StrCat("artifact relation ", rel.name, " of arity 0"));
+        error_at(rel_loc(rel.name),
+                 StrCat("artifact relation ", rel.name, " of arity 0"));
       }
     }
   }
@@ -56,10 +76,14 @@ void CheckTask(const ArtifactSystem& system, const Task& t,
   // commutation matrix consumed by partial-order reduction.
   for (const InternalService& s : t.services()) {
     Status pre = s.pre->CheckWellFormed(t.vars(), schema);
-    if (!pre.ok()) error(StrCat("service ", s.name, " pre: ", pre.message()));
+    if (!pre.ok()) {
+      error_at(svc_loc(s.name),
+               StrCat("service ", s.name, " pre: ", pre.message()));
+    }
     Status post = s.post->CheckWellFormed(t.vars(), schema);
     if (!post.ok()) {
-      error(StrCat("service ", s.name, " post: ", post.message()));
+      error_at(svc_loc(s.name),
+               StrCat("service ", s.name, " post: ", post.message()));
     }
   }
   {
@@ -155,7 +179,8 @@ void CheckTask(const ArtifactSystem& system, const Task& t,
 
 }  // namespace
 
-std::vector<std::string> ValidateSystemAll(const ArtifactSystem& system) {
+std::vector<std::string> ValidateSystemAll(const ArtifactSystem& system,
+                                           const SpecLocations* locs) {
   std::vector<std::string> errors;
   Status schema = system.schema().Validate();
   if (!schema.ok()) errors.push_back(schema.message());
@@ -164,7 +189,7 @@ std::vector<std::string> ValidateSystemAll(const ArtifactSystem& system) {
     return errors;
   }
   for (TaskId t = 0; t < system.num_tasks(); ++t) {
-    CheckTask(system, system.task(t), &errors);
+    CheckTask(system, system.task(t), locs, &errors);
   }
   // Global pre-condition Π over the root's variables (the paper scopes
   // it to the root's input variables; we check the variables mentioned
@@ -193,8 +218,9 @@ std::vector<std::string> ValidateSystemAll(const ArtifactSystem& system) {
   return errors;
 }
 
-Status ValidateSystem(const ArtifactSystem& system) {
-  std::vector<std::string> errors = ValidateSystemAll(system);
+Status ValidateSystem(const ArtifactSystem& system,
+                      const SpecLocations* locs) {
+  std::vector<std::string> errors = ValidateSystemAll(system, locs);
   if (errors.empty()) return Status::Ok();
   return Status::InvalidArgument(errors.front());
 }

@@ -14,14 +14,19 @@
 #include <vector>
 
 #include "model/artifact_system.h"
+#include "model/source_loc.h"
 
 namespace has {
 
 /// Validates the whole system; returns the first violation found.
-Status ValidateSystem(const ArtifactSystem& system);
+/// With `locs` (parsed specs), messages carry `file:line:` prefixes
+/// pointing at the offending declaration; without, they are unchanged.
+Status ValidateSystem(const ArtifactSystem& system,
+                      const SpecLocations* locs = nullptr);
 
 /// Collects every violation (for linter-style reporting).
-std::vector<std::string> ValidateSystemAll(const ArtifactSystem& system);
+std::vector<std::string> ValidateSystemAll(const ArtifactSystem& system,
+                                           const SpecLocations* locs = nullptr);
 
 }  // namespace has
 

@@ -14,6 +14,7 @@ class Parser {
 
   StatusOr<ParsedSpec> Parse() {
     ParsedSpec spec;
+    locs_ = &spec.locations;
     HAS_RETURN_IF_ERROR(ExpectIdent("system"));
     HAS_RETURN_IF_ERROR(Expect(TokKind::kLBrace));
     // Pre-scan relation names for forward references.
@@ -135,11 +136,17 @@ class Parser {
     int line = 0;
   };
 
+  SourceLoc LocOf(const Token& tok) const {
+    return SourceLoc{tok.line, tok.column};
+  }
+
   Status ParseTask(ArtifactSystem* system, TaskId parent) {
     HAS_RETURN_IF_ERROR(ExpectIdent("task"));
     if (Peek().kind != TokKind::kIdent) return Error("task name");
-    std::string name = Next().text;
+    const Token name_tok = Next();
+    std::string name = name_tok.text;
     TaskId id = system->AddTask(name, parent);
+    locs_->SetTask(name, LocOf(name_tok));
     HAS_RETURN_IF_ERROR(Expect(TokKind::kLBrace));
     schema_ = &system->schema();
     std::vector<PendingSetOp> pending_set_ops;
@@ -151,17 +158,24 @@ class Parser {
         bool is_id = Next().text == "ids";
         HAS_RETURN_IF_ERROR(Expect(TokKind::kColon));
         while (Peek().kind == TokKind::kIdent) {
-          task.vars().AddVar(Next().text,
+          const Token var_tok = Next();
+          task.vars().AddVar(var_tok.text,
                              is_id ? VarSort::kId : VarSort::kNumeric);
+          locs_->SetVar(name, var_tok.text, LocOf(var_tok));
           if (!Consume(TokKind::kComma)) break;
         }
         HAS_RETURN_IF_ERROR(Expect(TokKind::kSemi));
       } else if (PeekIdent("set")) {
+        SourceLoc rel_loc = LocOf(Peek());
         Next();
         // Named form `set Name (x̄);` or the single-relation sugar
         // `set (x̄);` (relation name "S").
         std::string rel_name = kDefaultSetName;
-        if (Peek().kind == TokKind::kIdent) rel_name = Next().text;
+        if (Peek().kind == TokKind::kIdent) {
+          rel_loc = LocOf(Peek());
+          rel_name = Next().text;
+        }
+        locs_->SetRelation(name, rel_name, rel_loc);
         if (task.FindSetRelation(rel_name) >= 0) {
           return Error(StrCat("artifact relation ", rel_name,
                               " declared twice"));
@@ -256,6 +270,7 @@ class Parser {
         Next();
         if (Peek().kind != TokKind::kIdent) return Error("service name");
         InternalService svc;
+        locs_->SetService(name, Peek().text, LocOf(Peek()));
         svc.name = Next().text;
         svc.pre = Condition::True();
         svc.post = Condition::True();
@@ -447,6 +462,7 @@ class Parser {
   Status ParseProperty(ParsedSpec* spec) {
     HAS_RETURN_IF_ERROR(ExpectIdent("property"));
     if (Peek().kind != TokKind::kIdent) return Error("property name");
+    locs_->SetProperty(Peek().text, LocOf(Peek()));
     std::string name = Next().text;
     HAS_RETURN_IF_ERROR(Expect(TokKind::kLBrace));
     HltlProperty property;
@@ -620,6 +636,7 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  SpecLocations* locs_ = nullptr;
   const VarScope* scope_ = nullptr;
   const DatabaseSchema* schema_ = nullptr;
   // Property-parsing state.
@@ -635,6 +652,13 @@ StatusOr<ParsedSpec> ParseSpec(const std::string& source) {
   HAS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
   Parser parser(std::move(tokens));
   return parser.Parse();
+}
+
+StatusOr<ParsedSpec> ParseSpec(const std::string& source,
+                               const std::string& filename) {
+  HAS_ASSIGN_OR_RETURN(ParsedSpec spec, ParseSpec(source));
+  spec.locations.set_file(filename);
+  return spec;
 }
 
 StatusOr<CondPtr> ParseCondition(const std::string& source,

@@ -53,12 +53,16 @@
 
 #include "hltl/hltl.h"
 #include "model/artifact_system.h"
+#include "model/source_loc.h"
 
 namespace has {
 
 struct ParsedSpec {
   ArtifactSystem system;
   std::vector<std::pair<std::string, HltlProperty>> properties;
+  /// Declaration positions of every named entity, for `file:line`
+  /// rendering in validator and analyzer diagnostics.
+  SpecLocations locations;
 
   /// Property lookup by name; nullptr if absent.
   const HltlProperty* FindProperty(const std::string& name) const {
@@ -71,6 +75,12 @@ struct ParsedSpec {
 
 /// Parses a full specification (one system, any number of properties).
 StatusOr<ParsedSpec> ParseSpec(const std::string& source);
+
+/// Same, recording `filename` as the source name of the returned
+/// locations (diagnostics then render "filename:line" instead of
+/// "<spec>:line").
+StatusOr<ParsedSpec> ParseSpec(const std::string& source,
+                               const std::string& filename);
 
 /// Parses a condition in isolation against a scope/schema (test aid).
 StatusOr<CondPtr> ParseCondition(const std::string& source,
