@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Fail CI when a diagnostic code is missing from the docs.
+
+The analyzer's diagnostic codes are declared as string constants in
+src/analysis/diagnostics.h (``inline constexpr char kDiag...[] = "..."``).
+Every one of them must appear in the diagnostic-code table of
+docs/TOOLS.md — otherwise `has_analyze` can emit a code the reference
+does not explain. Run from the repository root (the spec_docs_sync
+ctest entry does); exits non-zero listing the undocumented codes.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+HEADER = Path("src/analysis/diagnostics.h")
+DOC = Path("docs/TOOLS.md")
+
+CODE_RE = re.compile(r'inline\s+constexpr\s+char\s+kDiag\w+\[\]\s*=\s*"([^"]+)"')
+
+
+def main() -> int:
+    for path in (HEADER, DOC):
+        if not path.is_file():
+            print(f"check_spec_docs: missing {path} (run from the repo root)",
+                  file=sys.stderr)
+            return 2
+
+    codes = CODE_RE.findall(HEADER.read_text(encoding="utf-8"))
+    if not codes:
+        print(f"check_spec_docs: no kDiag* constants found in {HEADER}; "
+              "the extraction regex is out of sync with the header",
+              file=sys.stderr)
+        return 2
+
+    doc_text = DOC.read_text(encoding="utf-8")
+    # A code counts as documented when it appears in backticks, the way
+    # the table in docs/TOOLS.md renders every code.
+    missing = [c for c in codes if f"`{c}`" not in doc_text]
+    if missing:
+        print(f"check_spec_docs: {len(missing)} diagnostic code(s) declared "
+              f"in {HEADER} but absent from {DOC}:", file=sys.stderr)
+        for code in missing:
+            print(f"  {code}", file=sys.stderr)
+        print("Document each code in the diagnostic-code table of "
+              f"{DOC} (with an example) and re-run.", file=sys.stderr)
+        return 1
+
+    print(f"check_spec_docs: all {len(codes)} diagnostic codes documented "
+          f"in {DOC}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,447 @@
+#include "fuzz/generator.h"
+
+#include <algorithm>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "common/strings.h"
+#include "hltl/hltl.h"
+#include "model/artifact_system.h"
+#include "model/validate.h"
+#include "spec/parser.h"
+#include "spec/printer.h"
+
+namespace has {
+
+namespace {
+
+/// Deterministic draws from the engine's standardized raw output (the
+/// std::uniform_* distributions are implementation-defined sequences;
+/// mt19937_64's output is not, so seeds replay across toolchains).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform int in [lo, hi] (inclusive; lo <= hi).
+  int Int(int lo, int hi) {
+    return lo + static_cast<int>(engine_() %
+                                 static_cast<uint64_t>(hi - lo + 1));
+  }
+  bool Chance(double p) {
+    return static_cast<double>(engine_() >> 11) *
+               (1.0 / 9007199254740992.0) <
+           p;
+  }
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    return v[static_cast<size_t>(Int(0, static_cast<int>(v.size()) - 1))];
+  }
+  /// A random non-empty subset of `v`, in the original order.
+  std::vector<int> Subset(const std::vector<int>& v, double keep) {
+    std::vector<int> out;
+    for (int x : v) {
+      if (Chance(keep)) out.push_back(x);
+    }
+    if (out.empty() && !v.empty()) out.push_back(Pick(v));
+    return out;
+  }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Variables available to a condition, split by sort. Conditions over a
+/// restricted scope (the global pre over root inputs) pass the
+/// restricted lists with the full VarScope untouched.
+struct CondVars {
+  std::vector<int> ids;
+  std::vector<int> nums;
+};
+
+CondPtr RandomAtom(Rng& rng, const DatabaseSchema& schema,
+                   const CondVars& vars, bool allow_arith, bool* used_arith) {
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    switch (rng.Int(0, 6)) {
+      case 0:
+        if (vars.ids.empty()) break;
+        return Condition::IsNull(rng.Pick(vars.ids));
+      case 1:
+        if (vars.ids.empty()) break;
+        return Condition::Not(Condition::IsNull(rng.Pick(vars.ids)));
+      case 2: {
+        if (vars.ids.size() < 2) break;
+        int a = rng.Pick(vars.ids);
+        int b = rng.Pick(vars.ids);
+        if (a == b) break;
+        return Condition::VarEq(a, b);
+      }
+      case 3:
+        if (vars.nums.empty()) break;
+        return Condition::Eq(Term::Var(rng.Pick(vars.nums)),
+                             Term::Const(Rational(rng.Int(0, 4))));
+      case 4: {
+        if (vars.nums.size() < 2) break;
+        int a = rng.Pick(vars.nums);
+        int b = rng.Pick(vars.nums);
+        if (a == b) break;
+        return Condition::VarEq(a, b);
+      }
+      case 5: {
+        if (!allow_arith || vars.nums.empty()) break;
+        LinearExpr expr;
+        int terms = rng.Int(1, vars.nums.size() >= 2 ? 2 : 1);
+        std::vector<int> used;
+        for (int i = 0; i < terms; ++i) {
+          int v = rng.Pick(vars.nums);
+          if (std::find(used.begin(), used.end(), v) != used.end()) continue;
+          used.push_back(v);
+          int coef = rng.Int(1, 3) * (rng.Chance(0.5) ? 1 : -1);
+          expr.AddTerm(v, Rational(coef));
+        }
+        expr.AddConstant(Rational(rng.Int(-4, 4)));
+        Relop op = rng.Chance(0.5) ? Relop::kLe
+                                   : (rng.Chance(0.5) ? Relop::kLt
+                                                      : Relop::kEq);
+        *used_arith = true;
+        return Condition::Arith(LinearConstraint{std::move(expr), op});
+      }
+      case 6: {
+        if (vars.ids.empty() || schema.num_relations() == 0) break;
+        // Any relation works: ID/FK attributes take ID variables,
+        // numeric attributes need a numeric variable in scope.
+        std::vector<int> candidates;
+        for (RelationId r = 0; r < schema.num_relations(); ++r) {
+          if (schema.relation(r).NumericAttrs().empty() ||
+              !vars.nums.empty()) {
+            candidates.push_back(r);
+          }
+        }
+        if (candidates.empty()) break;
+        const Relation& rel = schema.relation(rng.Pick(candidates));
+        std::vector<int> args;
+        for (int a = 0; a < rel.arity(); ++a) {
+          args.push_back(rel.attr(a).kind == AttrKind::kNumeric
+                             ? rng.Pick(vars.nums)
+                             : rng.Pick(vars.ids));
+        }
+        return Condition::Rel(rel.id(), std::move(args));
+      }
+    }
+  }
+  return Condition::True();
+}
+
+CondPtr RandomCondition(Rng& rng, const DatabaseSchema& schema,
+                        const CondVars& vars, const FuzzGenOptions& o,
+                        bool* used_arith) {
+  int atoms = rng.Int(1, std::max(1, o.max_atoms));
+  CondPtr acc =
+      RandomAtom(rng, schema, vars, o.allow_arithmetic, used_arith);
+  for (int i = 1; i < atoms; ++i) {
+    CondPtr atom =
+        RandomAtom(rng, schema, vars, o.allow_arithmetic, used_arith);
+    if (rng.Chance(0.2)) atom = Condition::Not(std::move(atom));
+    acc = rng.Chance(0.5) ? Condition::And(std::move(acc), std::move(atom))
+                          : Condition::Or(std::move(acc), std::move(atom));
+  }
+  return acc;
+}
+
+CondVars AllVars(const Task& t) {
+  return CondVars{t.vars().IdVars(), t.vars().NumericVars()};
+}
+
+void GenSchema(Rng& rng, const FuzzGenOptions& o, DatabaseSchema* schema) {
+  int n = rng.Int(1, std::max(1, o.max_db_relations));
+  for (int i = 0; i < n; ++i) {
+    RelationId r = schema->AddRelation(StrCat("R", i));
+    int nums = rng.Int(0, 2);
+    for (int a = 0; a < nums; ++a) {
+      schema->relation(r).AddNumericAttribute(StrCat("a", a));
+    }
+    // Foreign keys point at earlier relations only, keeping the FK
+    // graph acyclic (the cheapest class of Tables 1-2; cyclic schemas
+    // are a future fuzzing axis).
+    if (i > 0 && rng.Chance(0.4)) {
+      schema->relation(r).AddForeignKey("fk", rng.Int(0, i - 1));
+    }
+  }
+}
+
+void GenTaskBody(Rng& rng, const FuzzGenOptions& o, ArtifactSystem* system,
+                 TaskId id, bool* used_arith) {
+  Task& t = system->task(id);
+  int ids = rng.Int(1, std::max(1, o.max_id_vars));
+  for (int v = 0; v < ids; ++v) t.vars().AddVar(StrCat("x", v), VarSort::kId);
+  int nums = rng.Int(0, std::max(0, o.max_num_vars));
+  for (int v = 0; v < nums; ++v) {
+    t.vars().AddVar(StrCat("n", v), VarSort::kNumeric);
+  }
+
+  // Artifact relations: each over a distinct non-empty ID-var tuple.
+  std::vector<int> id_vars = t.vars().IdVars();
+  int sets = rng.Int(0, std::max(0, o.max_set_relations));
+  for (int s = 0; s < sets; ++s) {
+    std::vector<int> tuple = rng.Subset(id_vars, 0.6);
+    t.AddSetRelation(s == 0 ? std::string(kDefaultSetName) : StrCat("P", s),
+                     std::move(tuple));
+  }
+
+  if (t.is_root()) {
+    // Root inputs receive the external valuation; the global pre may
+    // only mention them.
+    std::vector<int> all;
+    for (int v = 0; v < t.vars().size(); ++v) all.push_back(v);
+    for (int v : rng.Subset(all, 0.5)) t.AddInput(v, v);
+    if (rng.Chance(0.4)) {
+      CondVars inputs;
+      for (int v : t.InputVars()) {
+        (t.vars().var(v).sort == VarSort::kId ? inputs.ids : inputs.nums)
+            .push_back(v);
+      }
+      system->SetGlobalPre(RandomCondition(rng, system->schema(), inputs, o,
+                                           used_arith));
+    }
+  } else {
+    Task& p = system->task(t.parent());
+    // f_in: sort-preserving 1-1 wiring from distinct parent variables.
+    std::vector<int> parent_ids = p.vars().IdVars();
+    std::vector<int> parent_nums = p.vars().NumericVars();
+    for (int v = 0; v < t.vars().size(); ++v) {
+      std::vector<int>& pool =
+          t.vars().var(v).sort == VarSort::kId ? parent_ids : parent_nums;
+      if (pool.empty() || !rng.Chance(0.45)) continue;
+      int slot = rng.Int(0, static_cast<int>(pool.size()) - 1);
+      t.AddInput(v, pool[static_cast<size_t>(slot)]);
+      pool.erase(pool.begin() + slot);
+    }
+    // f_out: distinct own sources to distinct parent targets outside
+    // the parent's own inputs (restriction 3).
+    std::vector<int> parent_inputs = p.InputVars();
+    std::vector<char> own_used(static_cast<size_t>(t.vars().size()), 0);
+    std::vector<char> parent_used(static_cast<size_t>(p.vars().size()), 0);
+    for (int pv : parent_inputs) parent_used[static_cast<size_t>(pv)] = 1;
+    int outputs = rng.Int(0, 2);
+    for (int i = 0; i < outputs; ++i) {
+      std::vector<std::pair<int, int>> pairs;
+      for (int own = 0; own < t.vars().size(); ++own) {
+        if (own_used[static_cast<size_t>(own)]) continue;
+        for (int pv = 0; pv < p.vars().size(); ++pv) {
+          if (parent_used[static_cast<size_t>(pv)]) continue;
+          if (p.vars().var(pv).sort != t.vars().var(own).sort) continue;
+          pairs.emplace_back(pv, own);
+        }
+      }
+      if (pairs.empty()) break;
+      auto [pv, own] = rng.Pick(pairs);
+      t.AddOutput(pv, own);
+      own_used[static_cast<size_t>(own)] = 1;
+      parent_used[static_cast<size_t>(pv)] = 1;
+    }
+    t.SetOpeningPre(rng.Chance(0.75)
+                        ? RandomCondition(rng, system->schema(), AllVars(p),
+                                          o, used_arith)
+                        : Condition::True());
+    t.SetClosingPre(RandomCondition(rng, system->schema(), AllVars(t), o,
+                                    used_arith));
+  }
+
+  int services = rng.Int(1, std::max(1, o.max_services));
+  for (int s = 0; s < services; ++s) {
+    InternalService svc;
+    svc.name = StrCat("s", s);
+    svc.pre = rng.Chance(0.15)
+                  ? Condition::True()
+                  : RandomCondition(rng, system->schema(), AllVars(t), o,
+                                    used_arith);
+    svc.post = rng.Chance(0.15)
+                   ? Condition::True()
+                   : RandomCondition(rng, system->schema(), AllVars(t), o,
+                                     used_arith);
+    for (int r = 0; r < t.num_set_relations(); ++r) {
+      switch (rng.Int(0, 3)) {
+        case 0:
+          svc.MarkInsert(r);
+          break;
+        case 1:
+          svc.MarkRetrieve(r);
+          break;
+        default:
+          break;
+      }
+    }
+    t.AddInternalService(std::move(svc));
+  }
+}
+
+/// Builds one property node for `task` (appending child nodes first
+/// encountered, like the parser) and returns its index.
+int BuildPropertyNode(Rng& rng, const ArtifactSystem& system, TaskId task,
+                      int depth, const FuzzGenOptions& o,
+                      HltlProperty* property, bool* used_arith) {
+  HltlNode placeholder;
+  placeholder.task = task;
+  placeholder.skeleton = LtlFormula::True();
+  int index = property->AddNode(std::move(placeholder));
+
+  const Task& t = system.task(task);
+  std::vector<HltlProp> props;
+  std::vector<LtlPtr> leaves;
+  int n = rng.Int(1, std::max(1, o.max_props));
+  for (int i = 0; i < n; ++i) {
+    int kind = rng.Int(0, 9);
+    if (kind <= 4 || t.children().empty()) {
+      if (kind >= 3 && !t.services().empty()) {
+        int s = rng.Int(0, static_cast<int>(t.services().size()) - 1);
+        props.push_back(HltlProp::Service(ServiceRef::Internal(task, s)));
+      } else {
+        // 1-2 atoms keeps property conditions lighter than service
+        // conditions (they multiply into every symbolic atom family).
+        FuzzGenOptions small = o;
+        small.max_atoms = 2;
+        props.push_back(HltlProp::Cond(RandomCondition(
+            rng, system.schema(), AllVars(t), small, used_arith)));
+      }
+    } else if (kind <= 7 || depth == 0) {
+      TaskId child = rng.Pick(t.children());
+      props.push_back(HltlProp::Service(rng.Chance(0.5)
+                                            ? ServiceRef::Opening(child)
+                                            : ServiceRef::Closing(child)));
+    } else {
+      TaskId child = rng.Pick(t.children());
+      int node = BuildPropertyNode(rng, system, child, depth - 1, o,
+                                   property, used_arith);
+      props.push_back(HltlProp::Child(node));
+    }
+    leaves.push_back(
+        LtlFormula::Prop(static_cast<int>(props.size()) - 1));
+  }
+
+  LtlPtr f = leaves[0];
+  for (size_t i = 1; i < leaves.size(); ++i) {
+    switch (rng.Int(0, 3)) {
+      case 0:
+        f = LtlFormula::And(std::move(f), leaves[i]);
+        break;
+      case 1:
+        f = LtlFormula::Or(std::move(f), leaves[i]);
+        break;
+      case 2:
+        f = LtlFormula::Until(std::move(f), leaves[i]);
+        break;
+      default:
+        f = LtlFormula::Implies(std::move(f), leaves[i]);
+        break;
+    }
+  }
+  switch (rng.Int(0, 5)) {
+    case 0:
+    case 1:
+      f = LtlFormula::Always(std::move(f));
+      break;
+    case 2:
+      f = LtlFormula::Eventually(std::move(f));
+      break;
+    case 3:
+      f = LtlFormula::Not(std::move(f));
+      break;
+    case 4:
+      if (o.allow_next && rng.Chance(0.3)) {
+        f = LtlFormula::Next(std::move(f));
+      }
+      break;
+    default:
+      break;
+  }
+  property->mutable_node(index).skeleton = std::move(f);
+  property->mutable_node(index).props = std::move(props);
+  return index;
+}
+
+}  // namespace
+
+StatusOr<GeneratedSpec> GenerateSpec(uint64_t seed,
+                                     const FuzzGenOptions& options) {
+  Rng rng(seed);
+  ArtifactSystem system;
+  bool used_arith = false;
+
+  GenSchema(rng, options, &system.schema());
+
+  int tasks = options.allow_hierarchy
+                  ? rng.Int(1, std::max(1, options.max_tasks))
+                  : 1;
+  for (int i = 0; i < tasks; ++i) {
+    TaskId parent = i == 0 ? kNoTask : rng.Int(0, i - 1);
+    system.AddTask(StrCat("T", i), parent);
+  }
+  for (TaskId t = 0; t < system.num_tasks(); ++t) {
+    GenTaskBody(rng, options, &system, t, &used_arith);
+  }
+
+  std::vector<std::pair<std::string, HltlProperty>> properties;
+  int num_props = rng.Int(1, std::max(1, options.max_properties));
+  for (int i = 0; i < num_props; ++i) {
+    HltlProperty property;
+    BuildPropertyNode(rng, system, system.root(), /*depth=*/1, options,
+                      &property, &used_arith);
+    properties.emplace_back(StrCat("p", i), std::move(property));
+  }
+
+  // Render, re-parse, re-print: the second print is the canonical
+  // fixpoint (the parser materializes one proposition per occurrence,
+  // so a first print whose skeleton shares props converges after one
+  // iteration). Any failure here is a generator or printer bug.
+  std::string first = PrintSpecSource(system, properties);
+  StatusOr<ParsedSpec> parsed = ParseSpec(first);
+  if (!parsed.ok()) {
+    return Status::Internal(StrCat("seed ", seed,
+                                   ": generated spec does not parse: ",
+                                   parsed.status().message(),
+                                   "\n--- source ---\n", first));
+  }
+  Status valid = ValidateSystem(parsed->system, &parsed->locations);
+  if (!valid.ok()) {
+    return Status::Internal(StrCat("seed ", seed,
+                                   ": generated spec does not validate: ",
+                                   valid.message(), "\n--- source ---\n",
+                                   first));
+  }
+  for (const auto& [name, property] : parsed->properties) {
+    Status pv = property.Validate(parsed->system);
+    if (!pv.ok()) {
+      return Status::Internal(StrCat("seed ", seed, ": property ", name,
+                                     " does not validate: ", pv.message(),
+                                     "\n--- source ---\n", first));
+    }
+  }
+  std::string second = PrintSpecSource(parsed->system, parsed->properties);
+  StatusOr<ParsedSpec> reparsed = ParseSpec(second);
+  if (!reparsed.ok()) {
+    return Status::Internal(StrCat("seed ", seed,
+                                   ": canonical spec does not re-parse: ",
+                                   reparsed.status().message(),
+                                   "\n--- source ---\n", second));
+  }
+  std::string third = PrintSpecSource(reparsed->system, reparsed->properties);
+  if (third != second) {
+    return Status::Internal(StrCat("seed ", seed,
+                                   ": print/parse is not a fixpoint\n"
+                                   "--- second ---\n",
+                                   second, "--- third ---\n", third));
+  }
+
+  GeneratedSpec out;
+  out.source = std::move(second);
+  out.num_tasks = parsed->system.num_tasks();
+  for (TaskId t = 0; t < parsed->system.num_tasks(); ++t) {
+    out.num_services +=
+        static_cast<int>(parsed->system.task(t).services().size());
+  }
+  out.num_properties = static_cast<int>(parsed->properties.size());
+  out.uses_arithmetic = used_arith;
+  return out;
+}
+
+}  // namespace has

@@ -1,0 +1,72 @@
+// Seeded generation of random well-typed artifact systems with
+// HLTL-FO properties, for the differential fuzzing harness
+// (tools/has_fuzz). Specs are built model-first — hierarchy, schema,
+// artifact relations, service insert/retrieve mixes, conditions inside
+// the FM-solvable linear fragment, and property skeletons — then
+// rendered through the parseable printer (spec/printer.h), re-parsed,
+// and re-printed, so the returned source is the print ∘ parse fixpoint
+// and every construction respects the validator (model/validate.h) by
+// design: sort-preserving 1-1 input/output wiring, restriction-3
+// disjointness, root closing false, global pre over root inputs only.
+#ifndef HAS_FUZZ_GENERATOR_H_
+#define HAS_FUZZ_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace has {
+
+struct FuzzGenOptions {
+  /// Tasks in the hierarchy (>= 1; parent chosen among earlier tasks).
+  int max_tasks = 3;
+  /// Database relations (>= 1); each has 0-2 numeric attributes and an
+  /// optional acyclic foreign key to an earlier relation.
+  int max_db_relations = 2;
+  /// Per-task variable counts (at least one ID variable is always
+  /// declared so artifact relations and relation atoms stay possible).
+  int max_id_vars = 3;
+  int max_num_vars = 2;
+  /// Artifact relations per task (each over distinct ID variables).
+  int max_set_relations = 2;
+  /// Internal services per task (>= 1).
+  int max_services = 3;
+  /// Atoms per generated condition.
+  int max_atoms = 3;
+  /// Leaf propositions per property node.
+  int max_props = 3;
+  /// Properties per spec (>= 1).
+  int max_properties = 2;
+  /// Allow linear-arithmetic atoms (engages the cell machinery).
+  bool allow_arithmetic = true;
+  /// Allow more than one task.
+  bool allow_hierarchy = true;
+  /// Allow X in property skeletons (an X-bearing skeleton disables POR
+  /// eligibility for that task, which is a legitimate configuration to
+  /// fuzz but makes the POR differential trivial; kept rare).
+  bool allow_next = true;
+};
+
+struct GeneratedSpec {
+  /// Canonical parseable source (system block + properties): the
+  /// fixpoint of print ∘ parse, verified internally.
+  std::string source;
+  int num_tasks = 0;
+  int num_services = 0;
+  int num_properties = 0;
+  bool uses_arithmetic = false;
+};
+
+/// Deterministically generates one spec from `seed` (same seed + same
+/// options = byte-identical source). The result parses, the system
+/// validates, and every property validates against it; those checks
+/// run internally and any failure returns an error carrying the
+/// offending source — by construction that indicates a generator or
+/// printer bug, which is exactly what the fuzz harness wants surfaced.
+StatusOr<GeneratedSpec> GenerateSpec(uint64_t seed,
+                                     const FuzzGenOptions& options = {});
+
+}  // namespace has
+
+#endif  // HAS_FUZZ_GENERATOR_H_

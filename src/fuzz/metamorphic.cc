@@ -1,0 +1,214 @@
+#include "fuzz/metamorphic.h"
+
+#include <utility>
+
+#include "common/strings.h"
+
+namespace has {
+
+namespace {
+
+/// Rebuilds a skeleton with every proposition id shifted by `offset`.
+LtlPtr ShiftProps(const LtlPtr& f, int offset) {
+  if (offset == 0) return f;
+  switch (f->kind()) {
+    case LtlKind::kTrue:
+    case LtlKind::kFalse:
+      return f;
+    case LtlKind::kProp:
+      return LtlFormula::Prop(f->prop() + offset);
+    case LtlKind::kNot:
+      return LtlFormula::Not(ShiftProps(f->left(), offset));
+    case LtlKind::kNext:
+      return LtlFormula::Next(ShiftProps(f->left(), offset));
+    case LtlKind::kAnd:
+      return LtlFormula::And(ShiftProps(f->left(), offset),
+                             ShiftProps(f->right(), offset));
+    case LtlKind::kOr:
+      return LtlFormula::Or(ShiftProps(f->left(), offset),
+                            ShiftProps(f->right(), offset));
+    case LtlKind::kUntil:
+      return LtlFormula::Until(ShiftProps(f->left(), offset),
+                               ShiftProps(f->right(), offset));
+  }
+  return f;
+}
+
+/// Copies `prop` remapping its child-node reference through `node_map`.
+HltlProp RemapProp(const HltlProp& prop, const std::vector<int>& node_map) {
+  HltlProp out = prop;
+  if (out.kind == HltlProp::Kind::kChildFormula) {
+    out.child_node = node_map[static_cast<size_t>(out.child_node)];
+  }
+  return out;
+}
+
+/// Appends the non-root nodes of `src` to `out` and returns the
+/// old-index -> new-index map (entry 0 maps to 0: root merges into the
+/// combined root).
+std::vector<int> AppendNonRootNodes(const HltlProperty& src,
+                                    HltlProperty* out) {
+  std::vector<int> node_map(static_cast<size_t>(src.num_nodes()), 0);
+  // Two passes: indices are assigned before prop references are
+  // remapped, so forward references between non-root nodes stay valid.
+  for (int i = 1; i < src.num_nodes(); ++i) {
+    HltlNode copy = src.node(i);
+    node_map[static_cast<size_t>(i)] = out->AddNode(std::move(copy));
+  }
+  for (int i = 1; i < src.num_nodes(); ++i) {
+    HltlNode& node = out->mutable_node(node_map[static_cast<size_t>(i)]);
+    for (HltlProp& p : node.props) p = RemapProp(p, node_map);
+  }
+  return node_map;
+}
+
+}  // namespace
+
+HltlProperty CombineProperties(const HltlProperty& a, const HltlProperty& b,
+                               bool conjunction) {
+  HltlProperty out;
+  // Reserve the combined root; patched below (mirrors the parser's
+  // placeholder idiom — node 0 must be first).
+  HltlNode root;
+  root.task = a.node(a.root_node()).task;
+  root.skeleton = LtlFormula::True();
+  out.AddNode(root);
+
+  std::vector<int> a_map = AppendNonRootNodes(a, &out);
+  std::vector<int> b_map = AppendNonRootNodes(b, &out);
+
+  HltlNode& combined = out.mutable_node(0);
+  const HltlNode& a_root = a.node(a.root_node());
+  const HltlNode& b_root = b.node(b.root_node());
+  for (const HltlProp& p : a_root.props) {
+    combined.props.push_back(RemapProp(p, a_map));
+  }
+  for (const HltlProp& p : b_root.props) {
+    combined.props.push_back(RemapProp(p, b_map));
+  }
+  LtlPtr left = a_root.skeleton;
+  LtlPtr right =
+      ShiftProps(b_root.skeleton, static_cast<int>(a_root.props.size()));
+  combined.skeleton = conjunction ? LtlFormula::And(left, right)
+                                  : LtlFormula::Or(left, right);
+  return out;
+}
+
+HltlProperty ConstantProperty(const ArtifactSystem& system, bool value) {
+  HltlProperty out;
+  HltlNode root;
+  root.task = system.root();
+  root.skeleton = value ? LtlFormula::True() : LtlFormula::False();
+  out.AddNode(std::move(root));
+  return out;
+}
+
+AlgebraReport CheckPropertyAlgebra(
+    const ArtifactSystem& system,
+    const std::vector<std::pair<std::string, const HltlProperty*>>& properties,
+    const VerifierOptions& options) {
+  AlgebraReport report;
+  auto verdict_of = [&](const HltlProperty& p) {
+    return Verify(system, p, options).verdict;
+  };
+
+  // The work list: named properties plus the two constants (their
+  // pairings cover the ∧/∨ identity and annihilator laws).
+  struct Entry {
+    std::string name;
+    const HltlProperty* property = nullptr;
+    HltlProperty owned;  ///< backing storage for the constants
+    Verdict verdict = Verdict::kInconclusive;
+  };
+  std::vector<Entry> entries;
+  for (const auto& [name, p] : properties) {
+    Entry e;
+    e.name = name;
+    e.property = p;
+    entries.push_back(std::move(e));
+  }
+  for (bool value : {true, false}) {
+    Entry e;
+    e.name = value ? "<true>" : "<false>";
+    e.owned = ConstantProperty(system, value);
+    entries.push_back(std::move(e));
+  }
+  for (Entry& e : entries) {
+    if (e.property == nullptr) e.property = &e.owned;
+    e.verdict = verdict_of(*e.property);
+  }
+  Verdict v_false = entries.back().verdict;  // the <false> entry
+
+  auto skip = [&](std::initializer_list<Verdict> vs) {
+    for (Verdict v : vs) {
+      if (v == Verdict::kInconclusive) {
+        ++report.relations_skipped;
+        return true;
+      }
+    }
+    ++report.relations_checked;
+    return false;
+  };
+  auto fail = [&](const char* relation, std::string detail) {
+    report.findings.push_back(AlgebraFinding{relation, std::move(detail)});
+  };
+
+  // R1 + R2 per property.
+  for (const Entry& e : entries) {
+    HltlProperty negated = e.property->Negated();
+    Verdict v_neg = verdict_of(negated);
+    Verdict v_negneg = verdict_of(negated.Negated());
+    if (!skip({e.verdict, v_negneg}) && v_negneg != e.verdict) {
+      fail("R1", StrCat(e.name, ": V(phi)=", VerdictName(e.verdict),
+                        " but V(!!phi)=", VerdictName(v_negneg)));
+    }
+    if (!skip({e.verdict, v_neg, v_false})) {
+      if (v_false == Verdict::kHolds &&
+          (e.verdict != Verdict::kHolds || v_neg != Verdict::kHolds)) {
+        fail("R2", StrCat(e.name, ": V(false)=HOLDS (empty run set) but V(",
+                          "phi)=", VerdictName(e.verdict),
+                          " V(!phi)=", VerdictName(v_neg)));
+      }
+      if (v_false == Verdict::kViolated && e.verdict == Verdict::kHolds &&
+          v_neg == Verdict::kHolds) {
+        fail("R2", StrCat(e.name,
+                          ": runs exist (V(false)=VIOLATED) yet both V(phi) "
+                          "and V(!phi) are HOLDS"));
+      }
+    }
+  }
+
+  // R3 + R4 per unordered pair.
+  for (size_t i = 0; i < entries.size(); ++i) {
+    for (size_t j = i + 1; j < entries.size(); ++j) {
+      const Entry& a = entries[i];
+      const Entry& b = entries[j];
+      HltlProperty conj = CombineProperties(*a.property, *b.property, true);
+      Verdict v_and = verdict_of(conj);
+      if (!skip({a.verdict, b.verdict, v_and})) {
+        bool both_hold = a.verdict == Verdict::kHolds &&
+                         b.verdict == Verdict::kHolds;
+        if ((v_and == Verdict::kHolds) != both_hold) {
+          fail("R3",
+               StrCat(a.name, " & ", b.name, ": V=", VerdictName(a.verdict),
+                      ",", VerdictName(b.verdict),
+                      " but V(and)=", VerdictName(v_and)));
+        }
+      }
+      HltlProperty disj = CombineProperties(*a.property, *b.property, false);
+      Verdict v_or = verdict_of(disj);
+      if (!skip({a.verdict, b.verdict, v_or})) {
+        if ((a.verdict == Verdict::kHolds || b.verdict == Verdict::kHolds) &&
+            v_or != Verdict::kHolds) {
+          fail("R4",
+               StrCat(a.name, " | ", b.name, ": V=", VerdictName(a.verdict),
+                      ",", VerdictName(b.verdict),
+                      " but V(or)=", VerdictName(v_or)));
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace has

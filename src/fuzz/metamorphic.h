@@ -1,0 +1,65 @@
+// Exact metamorphic relations over symbolic verdicts. HLTL-FO verdicts
+// quantify universally over the system's run set, so — for ANY run set,
+// including the empty one — the following algebra must hold:
+//
+//   (R1) double negation   V(¬¬φ) = V(φ)
+//   (R2) vacuity           V(false) = HOLDS  ⇒  V(φ) = HOLDS for all φ
+//                          V(false) = VIOLATED ⇒ never both V(φ) and
+//                          V(¬φ) HOLDS (a run satisfies one of them)
+//   (R3) conjunction       V(φ∧ψ) = HOLDS  ⇔  V(φ) = V(ψ) = HOLDS
+//   (R4) disjunction       V(φ) = HOLDS or V(ψ) = HOLDS ⇒ V(φ∨ψ) = HOLDS
+//
+// (R4 is one-directional: a disjunction can hold while both disjuncts
+// are violated — by different runs.) These relations are independent of
+// the run-set semantics and of every engine knob, so a violation is
+// always a genuine engine bug — unlike concrete-witness findings, which
+// the run-set conventions make soft (see fuzz/differential.h).
+//
+// The synthetic `true` and `false` properties take part in the pairing,
+// which folds the identity laws (φ∧true ≡ φ, φ∧false ≡ false, ...) into
+// R3/R4 for free.
+#ifndef HAS_FUZZ_METAMORPHIC_H_
+#define HAS_FUZZ_METAMORPHIC_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/verifier.h"
+
+namespace has {
+
+/// A combined property: the root skeletons joined by ∧ or ∨, the node
+/// tables merged (child-formula and proposition indices remapped).
+/// Both inputs must be validated against the same system.
+HltlProperty CombineProperties(const HltlProperty& a, const HltlProperty& b,
+                               bool conjunction);
+
+/// The constant property [c]_root with no propositions.
+HltlProperty ConstantProperty(const ArtifactSystem& system, bool value);
+
+struct AlgebraFinding {
+  std::string relation;  ///< "R1".."R4"
+  std::string detail;    ///< verdicts involved, human-readable
+};
+
+struct AlgebraReport {
+  std::vector<AlgebraFinding> findings;
+  int relations_checked = 0;
+  /// Relations skipped because some verdict was INCONCLUSIVE.
+  int relations_skipped = 0;
+
+  bool ok() const { return findings.empty(); }
+};
+
+/// Checks R1-R4 over all given properties (plus the synthetic true and
+/// false properties). Verdict queries use `options` as-is; relations
+/// involving an INCONCLUSIVE verdict are skipped, not failed.
+AlgebraReport CheckPropertyAlgebra(
+    const ArtifactSystem& system,
+    const std::vector<std::pair<std::string, const HltlProperty*>>& properties,
+    const VerifierOptions& options);
+
+}  // namespace has
+
+#endif  // HAS_FUZZ_METAMORPHIC_H_

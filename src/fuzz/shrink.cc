@@ -1,0 +1,452 @@
+#include "fuzz/shrink.h"
+
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/strings.h"
+#include "model/validate.h"
+#include "spec/printer.h"
+
+namespace has {
+
+namespace {
+
+/// The mutable form candidates are edited in; printed back to source
+/// before any semantic check runs.
+struct Model {
+  ArtifactSystem system;
+  std::vector<std::pair<std::string, HltlProperty>> properties;
+};
+
+Model ToModel(const ParsedSpec& spec) {
+  return Model{spec.system, spec.properties};
+}
+
+/// Per-task copy filter for structural drops.
+struct TaskFilter {
+  int skip_service = -1;
+  int skip_set = -1;
+};
+
+void CopyTaskBody(const Task& src, Task* dst, const TaskFilter& filter) {
+  for (int v = 0; v < src.vars().size(); ++v) {
+    dst->vars().AddVar(src.vars().var(v).name, src.vars().var(v).sort);
+  }
+  for (int r = 0; r < src.num_set_relations(); ++r) {
+    if (r == filter.skip_set) continue;
+    dst->AddSetRelation(src.set_relations()[static_cast<size_t>(r)].name,
+                        src.set_relations()[static_cast<size_t>(r)].vars);
+  }
+  for (const auto& [own, parent] : src.fin()) dst->AddInput(own, parent);
+  for (const auto& [parent, own] : src.fout()) dst->AddOutput(parent, own);
+  for (size_t s = 0; s < src.services().size(); ++s) {
+    if (static_cast<int>(s) == filter.skip_service) continue;
+    InternalService svc = src.services()[s];
+    if (filter.skip_set >= 0) {
+      auto remap = [&filter](std::vector<int>* rels) {
+        std::vector<int> out;
+        for (int r : *rels) {
+          if (r == filter.skip_set) continue;
+          out.push_back(r > filter.skip_set ? r - 1 : r);
+        }
+        *rels = std::move(out);
+      };
+      remap(&svc.insert_rels);
+      remap(&svc.retrieve_rels);
+    }
+    dst->AddInternalService(std::move(svc));
+  }
+  dst->SetOpeningPre(src.opening_pre());
+  dst->SetClosingPre(src.closing_pre());
+}
+
+/// Clones the system applying `filter` to task `target` (every task
+/// when target == kNoTask with a default filter — i.e. a plain copy).
+ArtifactSystem CloneSystem(const ArtifactSystem& s, TaskId target,
+                           const TaskFilter& filter) {
+  ArtifactSystem out;
+  out.schema() = s.schema();
+  out.SetGlobalPre(s.global_pre());
+  for (TaskId t = 0; t < s.num_tasks(); ++t) {
+    const Task& ot = s.task(t);
+    TaskId id = out.AddTask(ot.name(), ot.parent());
+    CopyTaskBody(ot, &out.task(id), t == target ? filter : TaskFilter{});
+  }
+  return out;
+}
+
+std::optional<Model> DropProperty(const Model& m, size_t k) {
+  if (m.properties.size() <= 1) return std::nullopt;
+  Model out = m;
+  out.properties.erase(out.properties.begin() +
+                       static_cast<ptrdiff_t>(k));
+  return out;
+}
+
+std::optional<Model> DropLeafTask(const Model& m, TaskId t) {
+  const ArtifactSystem& s = m.system;
+  if (t == s.root() || !s.task(t).children().empty()) return std::nullopt;
+  for (const auto& [name, prop] : m.properties) {
+    for (int n = 0; n < prop.num_nodes(); ++n) {
+      if (prop.node(n).task == t) return std::nullopt;
+      for (const HltlProp& p : prop.node(n).props) {
+        if (p.kind == HltlProp::Kind::kService && p.service.task == t) {
+          return std::nullopt;
+        }
+      }
+    }
+  }
+  auto remap = [t](TaskId id) { return id > t ? id - 1 : id; };
+  Model out;
+  out.system.schema() = s.schema();
+  out.system.SetGlobalPre(s.global_pre());
+  for (TaskId o = 0; o < s.num_tasks(); ++o) {
+    if (o == t) continue;
+    const Task& ot = s.task(o);
+    TaskId id = out.system.AddTask(
+        ot.name(), ot.is_root() ? kNoTask : remap(ot.parent()));
+    CopyTaskBody(ot, &out.system.task(id), TaskFilter{});
+  }
+  out.properties = m.properties;
+  for (auto& [name, prop] : out.properties) {
+    for (int n = 0; n < prop.num_nodes(); ++n) {
+      HltlNode& node = prop.mutable_node(n);
+      node.task = remap(node.task);
+      for (HltlProp& p : node.props) {
+        if (p.kind == HltlProp::Kind::kService) {
+          p.service.task = remap(p.service.task);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::optional<Model> DropService(const Model& m, TaskId t, int s) {
+  if (m.system.task(t).services().size() <= 1) return std::nullopt;
+  Model out;
+  out.system = CloneSystem(m.system, t, TaskFilter{s, -1});
+  out.properties = m.properties;
+  for (auto& [name, prop] : out.properties) {
+    for (int n = 0; n < prop.num_nodes(); ++n) {
+      for (HltlProp& p : prop.mutable_node(n).props) {
+        if (p.kind != HltlProp::Kind::kService ||
+            p.service.kind != ServiceRef::Kind::kInternal ||
+            p.service.task != t) {
+          continue;
+        }
+        if (p.service.index == s) return std::nullopt;
+        if (p.service.index > s) --p.service.index;
+      }
+    }
+  }
+  return out;
+}
+
+std::optional<Model> DropSetRelation(const Model& m, TaskId t, int r) {
+  Model out;
+  out.system = CloneSystem(m.system, t, TaskFilter{-1, r});
+  out.properties = m.properties;
+  return out;
+}
+
+/// Rebuilds a condition with DB-relation ids above `dropped` shifted
+/// down (caller guarantees `dropped` itself is unreferenced).
+CondPtr RemapRelations(const CondPtr& c, RelationId dropped) {
+  switch (c->kind()) {
+    case CondKind::kRel:
+      return Condition::Rel(
+          c->relation() > dropped ? c->relation() - 1 : c->relation(),
+          c->args());
+    case CondKind::kNot:
+      return Condition::Not(RemapRelations(c->child(0), dropped));
+    case CondKind::kAnd:
+      return Condition::And(RemapRelations(c->child(0), dropped),
+                            RemapRelations(c->child(1), dropped));
+    case CondKind::kOr:
+      return Condition::Or(RemapRelations(c->child(0), dropped),
+                           RemapRelations(c->child(1), dropped));
+    default:
+      return c;
+  }
+}
+
+/// Applies `fn` to every condition slot of the model in a fixed order:
+/// global pre, then per task (opening, closing, per-service pre/post),
+/// then property condition props.
+void ForEachCondSlot(Model* m, const std::function<CondPtr(CondPtr)>& fn) {
+  m->system.SetGlobalPre(fn(m->system.global_pre()));
+  for (TaskId t = 0; t < m->system.num_tasks(); ++t) {
+    Task& task = m->system.task(t);
+    task.SetOpeningPre(fn(task.opening_pre()));
+    task.SetClosingPre(fn(task.closing_pre()));
+    for (size_t s = 0; s < task.services().size(); ++s) {
+      InternalService& svc = task.mutable_service(static_cast<int>(s));
+      svc.pre = fn(svc.pre);
+      svc.post = fn(svc.post);
+    }
+  }
+  for (auto& [name, prop] : m->properties) {
+    for (int n = 0; n < prop.num_nodes(); ++n) {
+      for (HltlProp& p : prop.mutable_node(n).props) {
+        if (p.kind == HltlProp::Kind::kCondition) {
+          p.condition = fn(p.condition);
+        }
+      }
+    }
+  }
+}
+
+bool MentionsRelation(const CondPtr& c, RelationId r) {
+  switch (c->kind()) {
+    case CondKind::kRel:
+      return c->relation() == r;
+    case CondKind::kNot:
+      return MentionsRelation(c->child(0), r);
+    case CondKind::kAnd:
+    case CondKind::kOr:
+      return MentionsRelation(c->child(0), r) ||
+             MentionsRelation(c->child(1), r);
+    default:
+      return false;
+  }
+}
+
+std::optional<Model> DropDbRelation(const Model& m, RelationId r) {
+  const DatabaseSchema& schema = m.system.schema();
+  // Unreferenced only: no FK from another relation, no condition atom.
+  for (RelationId o = 0; o < schema.num_relations(); ++o) {
+    if (o == r) continue;
+    for (const Attribute& a : schema.relation(o).attrs()) {
+      if (a.kind == AttrKind::kForeign && a.references == r) {
+        return std::nullopt;
+      }
+    }
+  }
+  bool referenced = false;
+  Model probe = m;
+  ForEachCondSlot(&probe, [&](CondPtr c) {
+    if (MentionsRelation(c, r)) referenced = true;
+    return c;
+  });
+  if (referenced) return std::nullopt;
+
+  Model out;
+  for (RelationId o = 0; o < schema.num_relations(); ++o) {
+    if (o == r) continue;
+    const Relation& rel = schema.relation(o);
+    RelationId id = out.system.schema().AddRelation(rel.name());
+    for (size_t a = 1; a < rel.attrs().size(); ++a) {
+      const Attribute& attr = rel.attrs()[a];
+      if (attr.kind == AttrKind::kNumeric) {
+        out.system.schema().relation(id).AddNumericAttribute(attr.name);
+      } else {
+        out.system.schema().relation(id).AddForeignKey(
+            attr.name,
+            attr.references > r ? attr.references - 1 : attr.references);
+      }
+    }
+  }
+  out.system.SetGlobalPre(m.system.global_pre());
+  for (TaskId t = 0; t < m.system.num_tasks(); ++t) {
+    const Task& ot = m.system.task(t);
+    TaskId id = out.system.AddTask(ot.name(), ot.parent());
+    CopyTaskBody(ot, &out.system.task(id), TaskFilter{});
+  }
+  out.properties = m.properties;
+  ForEachCondSlot(&out, [r](CondPtr c) { return RemapRelations(c, r); });
+  return out;
+}
+
+int CountAtoms(const CondPtr& c) {
+  if (c->IsAtom()) return 1;
+  int n = 0;
+  for (int i = 0; i < c->num_children(); ++i) n += CountAtoms(c->child(i));
+  return n;
+}
+
+CondPtr ReplaceAtomAt(const CondPtr& c, int target, bool value,
+                      int* counter) {
+  if (c->IsAtom()) {
+    if ((*counter)++ == target) {
+      return value ? Condition::True() : Condition::False();
+    }
+    return c;
+  }
+  switch (c->kind()) {
+    case CondKind::kNot:
+      return Condition::Not(ReplaceAtomAt(c->child(0), target, value,
+                                          counter));
+    case CondKind::kAnd:
+      return Condition::And(
+          ReplaceAtomAt(c->child(0), target, value, counter),
+          ReplaceAtomAt(c->child(1), target, value, counter));
+    case CondKind::kOr:
+      return Condition::Or(
+          ReplaceAtomAt(c->child(0), target, value, counter),
+          ReplaceAtomAt(c->child(1), target, value, counter));
+    default:
+      return c;
+  }
+}
+
+/// Candidates that replace the `atom`-th atom of the `slot`-th
+/// condition slot with true/false.
+Model ReplaceSlotAtom(const Model& m, int slot, int atom, bool value) {
+  Model out = m;
+  int slot_counter = 0;
+  ForEachCondSlot(&out, [&](CondPtr c) {
+    if (slot_counter++ != slot) return c;
+    int atom_counter = 0;
+    return ReplaceAtomAt(c, atom, value, &atom_counter);
+  });
+  return out;
+}
+
+/// All structural + atom candidates of the current model, in a fixed
+/// deterministic order (coarse structure first, atoms last).
+std::vector<Model> EnumerateCandidates(const Model& m) {
+  std::vector<Model> out;
+  auto push = [&out](std::optional<Model> c) {
+    if (c.has_value()) out.push_back(std::move(*c));
+  };
+
+  for (size_t k = 0; k < m.properties.size(); ++k) {
+    push(DropProperty(m, k));
+  }
+  for (TaskId t = m.system.num_tasks() - 1; t > 0; --t) {
+    push(DropLeafTask(m, t));
+  }
+  for (TaskId t = 0; t < m.system.num_tasks(); ++t) {
+    for (size_t s = 0; s < m.system.task(t).services().size(); ++s) {
+      push(DropService(m, t, static_cast<int>(s)));
+    }
+  }
+  for (TaskId t = 0; t < m.system.num_tasks(); ++t) {
+    for (int r = 0; r < m.system.task(t).num_set_relations(); ++r) {
+      push(DropSetRelation(m, t, r));
+    }
+  }
+  for (RelationId r = 0; r < m.system.schema().num_relations(); ++r) {
+    push(DropDbRelation(m, r));
+  }
+
+  // Property propositions -> true / false (also detaches child-formula
+  // nodes and service observations; orphaned nodes vanish at print).
+  for (size_t k = 0; k < m.properties.size(); ++k) {
+    const HltlProperty& prop = m.properties[k].second;
+    for (int n = 0; n < prop.num_nodes(); ++n) {
+      for (size_t p = 0; p < prop.node(n).props.size(); ++p) {
+        const HltlProp& hp = prop.node(n).props[p];
+        for (bool value : {true, false}) {
+          if (hp.kind == HltlProp::Kind::kCondition &&
+              hp.condition->kind() ==
+                  (value ? CondKind::kTrue : CondKind::kFalse)) {
+            continue;
+          }
+          Model cand = m;
+          cand.properties[k].second.mutable_node(n).props[p] =
+              HltlProp::Cond(value ? Condition::True()
+                                   : Condition::False());
+          out.push_back(std::move(cand));
+        }
+      }
+    }
+  }
+
+  // Condition atoms -> true / false, slot by slot.
+  {
+    std::vector<int> atom_counts;
+    Model probe = m;
+    ForEachCondSlot(&probe, [&](CondPtr c) {
+      atom_counts.push_back(CountAtoms(c));
+      return c;
+    });
+    for (size_t slot = 0; slot < atom_counts.size(); ++slot) {
+      for (int atom = 0; atom < atom_counts[slot]; ++atom) {
+        for (bool value : {true, false}) {
+          out.push_back(ReplaceSlotAtom(m, static_cast<int>(slot), atom,
+                                        value));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+/// Parses + validates a candidate source; nullopt when it is not a
+/// legal spec (the candidate is then discarded).
+std::optional<ParsedSpec> CheckCandidate(const std::string& source) {
+  StatusOr<ParsedSpec> parsed = ParseSpec(source);
+  if (!parsed.ok()) return std::nullopt;
+  if (!ValidateSystem(parsed->system, &parsed->locations).ok()) {
+    return std::nullopt;
+  }
+  for (const auto& [name, property] : parsed->properties) {
+    if (!property.Validate(parsed->system).ok()) return std::nullopt;
+  }
+  return std::move(*parsed);
+}
+
+}  // namespace
+
+StatusOr<std::string> ShrinkSpec(const std::string& source,
+                                 const SpecPredicate& still_failing,
+                                 const ShrinkOptions& options,
+                                 ShrinkStats* stats,
+                                 const ShrinkObserver& on_accept) {
+  StatusOr<ParsedSpec> parsed = ParseSpec(source);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument(
+        StrCat("shrink input does not parse: ", parsed.status().message()));
+  }
+  Status valid = ValidateSystem(parsed->system, &parsed->locations);
+  if (!valid.ok()) {
+    return Status::InvalidArgument(
+        StrCat("shrink input does not validate: ", valid.message()));
+  }
+  for (const auto& [name, property] : parsed->properties) {
+    Status pv = property.Validate(parsed->system);
+    if (!pv.ok()) {
+      return Status::InvalidArgument(StrCat("shrink input property ", name,
+                                            " does not validate: ",
+                                            pv.message()));
+    }
+  }
+  if (!still_failing(*parsed)) {
+    return Status::InvalidArgument(
+        "shrink predicate does not hold on the input spec");
+  }
+
+  // Work on the canonical print of the input (identical model).
+  Model current = ToModel(*parsed);
+  std::string current_source =
+      PrintSpecSource(current.system, current.properties);
+
+  ShrinkStats local;
+  ShrinkStats& s = stats != nullptr ? *stats : local;
+  bool progress = true;
+  while (progress && s.accepted < options.max_accepted) {
+    progress = false;
+    for (Model& candidate : EnumerateCandidates(current)) {
+      ++s.tried;
+      std::string cand_source =
+          PrintSpecSource(candidate.system, candidate.properties);
+      if (cand_source.size() >= current_source.size()) continue;
+      std::optional<ParsedSpec> cand = CheckCandidate(cand_source);
+      if (!cand.has_value()) continue;
+      if (!still_failing(*cand)) continue;
+      current = ToModel(*cand);
+      current_source = cand_source;
+      ++s.accepted;
+      if (on_accept) on_accept(*cand, cand_source);
+      progress = true;
+      break;  // restart enumeration on the reduced spec
+    }
+  }
+  return current_source;
+}
+
+}  // namespace has

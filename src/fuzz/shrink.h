@@ -1,0 +1,57 @@
+// Delta-debugging shrinker for `.has` specs. Given a spec and a
+// predicate (for the fuzz harness: "the differential disagreement still
+// reproduces"), repeatedly applies structural reductions — drop a
+// property, a leaf task, a service, an artifact relation, an unused
+// database relation, replace a property proposition or any condition
+// atom with true/false — keeping a candidate only when the reduced
+// spec still parses, validates, AND satisfies the predicate. Runs to a
+// fixpoint: the result admits no further accepted reduction, so
+// re-shrinking a minimal case is a no-op.
+//
+// Every candidate is materialized through print -> parse before the
+// predicate runs, so an accepted step is always a committable `.has`
+// artifact and index remaps (service, set-relation, task, DB-relation
+// ids) are exercised against the real parser on every step.
+#ifndef HAS_FUZZ_SHRINK_H_
+#define HAS_FUZZ_SHRINK_H_
+
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+#include "spec/parser.h"
+
+namespace has {
+
+struct ShrinkOptions {
+  /// Cap on accepted reductions (a runaway-loop backstop; real cases
+  /// converge in far fewer steps).
+  int max_accepted = 256;
+};
+
+struct ShrinkStats {
+  int tried = 0;     ///< candidates materialized and tested
+  int accepted = 0;  ///< candidates that kept the predicate
+};
+
+/// Must be deterministic; receives a parsed-and-validated candidate.
+using SpecPredicate = std::function<bool(const ParsedSpec&)>;
+
+/// Called after every accepted step with the new spec and its source
+/// (test hook: asserts the invariants hold at every step, not just at
+/// the end).
+using ShrinkObserver =
+    std::function<void(const ParsedSpec&, const std::string&)>;
+
+/// Shrinks `source` while `still_failing` holds. The input must parse,
+/// validate, and satisfy the predicate (error otherwise). Returns the
+/// minimal source reached (a parse -> print fixpoint of its model).
+StatusOr<std::string> ShrinkSpec(const std::string& source,
+                                 const SpecPredicate& still_failing,
+                                 const ShrinkOptions& options = {},
+                                 ShrinkStats* stats = nullptr,
+                                 const ShrinkObserver& on_accept = nullptr);
+
+}  // namespace has
+
+#endif  // HAS_FUZZ_SHRINK_H_

@@ -1,49 +1,8 @@
-// Parser for the HAS specification language. Grammar sketch:
-//
-//   system {
-//     relation FLIGHTS { price: num; comp_hotel_id -> HOTELS; }
-//     task Root {
-//       ids: x, y;  nums: amount;
-//       set (x, y);                  # artifact relation sugar: S(x, y)
-//       set Pending (x);             # named relation S_T,i over s̄_T,i
-//       set Done (y);                # any number of `set` blocks
-//       input: x;                    # root: external inputs
-//       service Store {
-//         pre:  x != null;
-//         post: x == null && amount == 0;
-//         insert;                    # +S(s̄): sugar, requires EXACTLY
-//                                    # one declared relation
-//         insert into Pending;       # +Pending(s̄_Pending)
-//         retrieve from Done;        # -Done(s̄_Done); a service may
-//                                    # update any subset of relations
-//       }
-//       task Child {
-//         ids: cx;  nums: camount;
-//         input: cx <- x;            # f_in: child_var <- parent_var
-//         output: cx -> y;           # f_out: child_var -> parent_var
-//         open when x != null;       # over the PARENT's variables
-//         close when cx != null;     # over the child's variables
-//       }
-//     }
-//   }
-//   property safe {
-//     G({x == null} || ! [ F {cx != null} ]@Child)
-//   }
-//
-// Artifact relations: a task declares a family S_T,1 … S_T,k through
-// `set` blocks — the unnamed form declares the relation named "S" (the
-// paper's single S_T; re-parse-stable through PrintSystemSource). Each
-// relation has its own tuple s̄_T,i of distinct ID variables and its
-// own insert/retrieve deltas; `set` blocks may appear anywhere in the
-// task body (service updates are resolved after the body is parsed).
-// Bare `insert;` / `retrieve;` target the task's sole relation and are
-// rejected as ambiguous when k > 1.
-//
-// Conditions: ==, !=, <, <=, >, >=, &&, ||, !, relation atoms R(args),
-// linear arithmetic over numeric variables, `null`, numeric literals.
-// HLTL connectives: G F X U ! && || ->, child formulas [φ]@Task,
-// conditions in braces, service propositions open(T), close(T),
-// svc(Task.Service).
+// Parser for the HAS specification language. The complete grammar —
+// lexical rules, the system/relation/task/service blocks, condition
+// and HLTL syntax with precedence, well-formedness rules, and the
+// printer's canonical form — is documented in docs/SPEC_FORMAT.md;
+// examples/specs/ holds worked examples.
 #ifndef HAS_SPEC_PARSER_H_
 #define HAS_SPEC_PARSER_H_
 

@@ -182,6 +182,79 @@ void PrintTaskSource(const ArtifactSystem& system, TaskId id,
   *out += "}\n";
 }
 
+/// Renders one HLTL node's skeleton. Every binary connective is
+/// parenthesized, so the operands of `U` are always parseable at the
+/// unary level and associativity never shifts on re-parse; `!`/`X`
+/// chains stay bare (the parser's unary level consumes them greedily).
+class PropertySourcePrinter {
+ public:
+  PropertySourcePrinter(const ArtifactSystem& system,
+                        const HltlProperty& property)
+      : system_(system), property_(property) {}
+
+  std::string Node(int index) {
+    const HltlNode& node = property_.node(index);
+    return Formula(*node.skeleton, node);
+  }
+
+ private:
+  std::string Formula(const LtlFormula& f, const HltlNode& node) {
+    switch (f.kind()) {
+      case LtlKind::kTrue:
+        return "true";
+      case LtlKind::kFalse:
+        return "false";
+      case LtlKind::kProp:
+        return Prop(node.props[static_cast<size_t>(f.prop())], node);
+      case LtlKind::kNot:
+        return StrCat("! ", Formula(*f.left(), node));
+      case LtlKind::kNext:
+        return StrCat("X ", Formula(*f.left(), node));
+      case LtlKind::kAnd:
+        return StrCat("(", Formula(*f.left(), node), " && ",
+                      Formula(*f.right(), node), ")");
+      case LtlKind::kOr:
+        return StrCat("(", Formula(*f.left(), node), " || ",
+                      Formula(*f.right(), node), ")");
+      case LtlKind::kUntil:
+        return StrCat("(", Formula(*f.left(), node), " U ",
+                      Formula(*f.right(), node), ")");
+    }
+    return "?";
+  }
+
+  std::string Prop(const HltlProp& p, const HltlNode& node) {
+    switch (p.kind) {
+      case HltlProp::Kind::kCondition:
+        return StrCat("{",
+                      PrintConditionSource(*p.condition,
+                                           system_.task(node.task).vars(),
+                                           system_.schema()),
+                      "}");
+      case HltlProp::Kind::kService:
+        switch (p.service.kind) {
+          case ServiceRef::Kind::kInternal:
+            return StrCat(
+                "svc(", system_.task(p.service.task).service(p.service.index)
+                            .name,
+                ")");
+          case ServiceRef::Kind::kOpening:
+            return StrCat("open(", system_.task(p.service.task).name(), ")");
+          case ServiceRef::Kind::kClosing:
+            return StrCat("close(", system_.task(p.service.task).name(), ")");
+        }
+        return "?";
+      case HltlProp::Kind::kChildFormula:
+        return StrCat("[ ", Node(p.child_node), " ]@",
+                      system_.task(property_.node(p.child_node).task).name());
+    }
+    return "?";
+  }
+
+  const ArtifactSystem& system_;
+  const HltlProperty& property_;
+};
+
 }  // namespace
 
 std::string PrintSystem(const ArtifactSystem& system) {
@@ -252,6 +325,23 @@ std::string PrintSystemSource(const ArtifactSystem& system) {
     PrintTaskSource(system, system.root(), &out, 1);
   }
   out += "}\n";
+  return out;
+}
+
+std::string PrintPropertySource(const ArtifactSystem& system,
+                                const HltlProperty& property) {
+  PropertySourcePrinter printer(system, property);
+  return printer.Node(property.root_node());
+}
+
+std::string PrintSpecSource(
+    const ArtifactSystem& system,
+    const std::vector<std::pair<std::string, HltlProperty>>& properties) {
+  std::string out = PrintSystemSource(system);
+  for (const auto& [name, property] : properties) {
+    out += StrCat("property ", name, " {\n  ",
+                  PrintPropertySource(system, property), "\n}\n");
+  }
   return out;
 }
 

@@ -1,19 +1,21 @@
 // Printing of parsed specifications. Two flavors:
 //  - PrintSystem / PrintProperty: compact debug dumps (diagnostics and
 //    golden tests; not guaranteed to round-trip);
-//  - PrintSystemSource: parseable `.has` source for the system block.
-//    ParseSpec(PrintSystemSource(s)) reconstructs an equivalent system
-//    — tasks, variable scopes, named artifact relations (the
-//    single-relation sugar `set (x̄);` is emitted for the default
-//    relation "S"), per-relation service updates, input/output wiring
-//    and conditions all survive the round trip. Properties are not
-//    printed (conditions embedded in HLTL render through the same
-//    parseable path, but skeleton reconstruction is not needed by any
-//    consumer yet).
+//  - PrintSystemSource / PrintPropertySource / PrintSpecSource:
+//    parseable `.has` source. ParseSpec(PrintSpecSource(...))
+//    reconstructs an equivalent spec — tasks, variable scopes, named
+//    artifact relations (the single-relation sugar `set (x̄);` is
+//    emitted for the default relation "S"), per-relation service
+//    updates, input/output wiring, conditions, and HLTL-FO property
+//    skeletons all survive the round trip, and printing the re-parsed
+//    spec reproduces the text exactly (the print ∘ parse fixpoint the
+//    fuzzer and the corpus replay rely on).
 #ifndef HAS_SPEC_PRINTER_H_
 #define HAS_SPEC_PRINTER_H_
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "hltl/hltl.h"
 #include "model/artifact_system.h"
@@ -26,6 +28,21 @@ std::string PrintProperty(const ArtifactSystem& system,
 
 /// Parseable `.has` source of the system block (see header comment).
 std::string PrintSystemSource(const ArtifactSystem& system);
+
+/// Parseable source of one property body (the text between the braces
+/// of `property name { ... }`). Binary connectives are fully
+/// parenthesized and the derived connectives (G, F, ->) print in their
+/// desugared ¬/U/∨ form, which the parser rebuilds into the identical
+/// skeleton; proposition occurrences print in the parser's collection
+/// order, so re-parsing reproduces the prop tables one-for-one.
+std::string PrintPropertySource(const ArtifactSystem& system,
+                                const HltlProperty& property);
+
+/// A full parseable spec: the system block followed by every property
+/// as `property name { ... }` (the shape ParseSpec consumes).
+std::string PrintSpecSource(
+    const ArtifactSystem& system,
+    const std::vector<std::pair<std::string, HltlProperty>>& properties);
 
 /// A condition in the spec language's concrete syntax (parses back
 /// through ParseCondition under the same scope/schema).

@@ -1,0 +1,373 @@
+// Tests for the spec fuzzer layer (src/fuzz/): generator determinism
+// and validity, property-source round-trips, the metamorphic property
+// algebra, the differential driver, and the delta-debugging shrinker's
+// contract — the result parses and validates, the predicate holds at
+// EVERY accepted step, and shrinking is a fixpoint.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/verifier.h"
+#include "fuzz/differential.h"
+#include "fuzz/generator.h"
+#include "fuzz/metamorphic.h"
+#include "fuzz/shrink.h"
+#include "model/validate.h"
+#include "spec/parser.h"
+#include "spec/printer.h"
+
+namespace has {
+namespace {
+
+// --------------------------------------------------------------- generator
+
+TEST(Generator, SameSeedSameSource) {
+  for (uint64_t seed : {1ULL, 7ULL, 42ULL, 1234567ULL}) {
+    StatusOr<GeneratedSpec> a = GenerateSpec(seed);
+    StatusOr<GeneratedSpec> b = GenerateSpec(seed);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    EXPECT_EQ(a->source, b->source) << "seed " << seed;
+  }
+}
+
+TEST(Generator, DifferentSeedsDiverge) {
+  std::set<std::string> sources;
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    StatusOr<GeneratedSpec> g = GenerateSpec(seed);
+    ASSERT_TRUE(g.ok()) << g.status().ToString();
+    sources.insert(g->source);
+  }
+  // Distinct seeds must not collapse to a handful of skeletons.
+  EXPECT_GE(sources.size(), 15u);
+}
+
+TEST(Generator, SweepIsValidAndRoundTripStable) {
+  for (uint64_t seed = 1; seed <= 60; ++seed) {
+    StatusOr<GeneratedSpec> g = GenerateSpec(seed);
+    ASSERT_TRUE(g.ok()) << "seed " << seed << ": "
+                        << g.status().ToString();
+    StatusOr<ParsedSpec> parsed = ParseSpec(g->source);
+    ASSERT_TRUE(parsed.ok()) << "seed " << seed << ": "
+                             << parsed.status().ToString();
+    Status valid = ValidateSystem(parsed->system);
+    EXPECT_TRUE(valid.ok()) << "seed " << seed << ": " << valid.ToString();
+    for (const auto& [name, property] : parsed->properties) {
+      Status pv = property.Validate(parsed->system);
+      EXPECT_TRUE(pv.ok()) << "seed " << seed << " property " << name
+                           << ": " << pv.ToString();
+    }
+    // The generator emits the print -> parse -> print fixpoint.
+    EXPECT_EQ(PrintSpecSource(parsed->system, parsed->properties),
+              g->source)
+        << "seed " << seed;
+  }
+}
+
+// ------------------------------------------------------ property printing
+
+TEST(PropertyPrinter, RoundTripsThroughParser) {
+  constexpr char kSpec[] = R"(
+system {
+  relation R { }
+  task Main {
+    ids: x, y;
+    nums: n;
+    set P (x);
+    service store { pre: x != null; post: true; insert into P; }
+    task Child {
+      ids: cx;
+      input: cx <- x;
+      open when x != null;
+      close when cx == null;
+      service go { pre: true; post: true; }
+    }
+  }
+}
+property p {
+  G ({x == null} || ! [ F svc(go) ]@Child) && (svc(store) U {n == 3})
+}
+)";
+  StatusOr<ParsedSpec> parsed = ParseSpec(kSpec);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  std::string printed = PrintSpecSource(parsed->system, parsed->properties);
+  StatusOr<ParsedSpec> again = ParseSpec(printed);
+  ASSERT_TRUE(again.ok()) << "printed source rejected:\n"
+                          << printed << "\n"
+                          << again.status().ToString();
+  // The print of the re-parse is the fixpoint.
+  EXPECT_EQ(PrintSpecSource(again->system, again->properties), printed);
+}
+
+// ------------------------------------------------------------ metamorphic
+
+constexpr char kLiveSpec[] = R"(
+system {
+  relation R { }
+  task Main {
+    ids: x;
+    set P (x);
+    service bind { pre: x == null; post: R(x); }
+    service store { pre: x != null; post: true; insert into P; }
+    service load { pre: true; post: x != null; retrieve from P; }
+  }
+}
+property no_load { G ! svc(load) }
+property eventually_bound { F ! {x == null} }
+)";
+
+TEST(Metamorphic, ConstantPropertiesMatchRunSetExistence) {
+  StatusOr<ParsedSpec> parsed = ParseSpec(kLiveSpec);
+  ASSERT_TRUE(parsed.ok());
+  // The system is live (bind always fireable from the initial state),
+  // so runs exist: V(true) = HOLDS, V(false) = VIOLATED.
+  HltlProperty t = ConstantProperty(parsed->system, true);
+  HltlProperty f = ConstantProperty(parsed->system, false);
+  ASSERT_TRUE(t.Validate(parsed->system).ok());
+  ASSERT_TRUE(f.Validate(parsed->system).ok());
+  EXPECT_EQ(Verify(parsed->system, t).verdict, Verdict::kHolds);
+  EXPECT_EQ(Verify(parsed->system, f).verdict, Verdict::kViolated);
+}
+
+TEST(Metamorphic, CombinePreservesValidationAndSemantics) {
+  StatusOr<ParsedSpec> parsed = ParseSpec(kLiveSpec);
+  ASSERT_TRUE(parsed.ok());
+  const HltlProperty& a = parsed->properties[0].second;
+  const HltlProperty& b = parsed->properties[1].second;
+  HltlProperty conj = CombineProperties(a, b, /*conjunction=*/true);
+  HltlProperty disj = CombineProperties(a, b, /*conjunction=*/false);
+  ASSERT_TRUE(conj.Validate(parsed->system).ok())
+      << conj.Validate(parsed->system).ToString();
+  ASSERT_TRUE(disj.Validate(parsed->system).ok());
+  Verdict va = Verify(parsed->system, a).verdict;
+  Verdict vb = Verify(parsed->system, b).verdict;
+  Verdict vand = Verify(parsed->system, conj).verdict;
+  Verdict vor = Verify(parsed->system, disj).verdict;
+  EXPECT_EQ(vand == Verdict::kHolds,
+            va == Verdict::kHolds && vb == Verdict::kHolds);
+  if (va == Verdict::kHolds || vb == Verdict::kHolds) {
+    EXPECT_EQ(vor, Verdict::kHolds);
+  }
+}
+
+TEST(Metamorphic, CombineMergesChildFormulaNodes) {
+  constexpr char kHier[] = R"(
+system {
+  task Main {
+    ids: x;
+    service go { pre: true; post: true; }
+    task Sub {
+      ids: sx;
+      input: sx <- x;
+      open when true;
+      close when sx == null;
+      service step { pre: true; post: true; }
+    }
+  }
+}
+property pa { G ! [ F svc(step) ]@Sub }
+property pb { F [ svc(step) U {sx == null} ]@Sub }
+)";
+  StatusOr<ParsedSpec> parsed = ParseSpec(kHier);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const HltlProperty& a = parsed->properties[0].second;
+  const HltlProperty& b = parsed->properties[1].second;
+  HltlProperty conj = CombineProperties(a, b, true);
+  // Both child nodes survive the merge and the result validates.
+  EXPECT_EQ(conj.num_nodes(), a.num_nodes() + b.num_nodes() - 1);
+  ASSERT_TRUE(conj.Validate(parsed->system).ok())
+      << conj.Validate(parsed->system).ToString();
+  EXPECT_NE(Verify(parsed->system, conj).verdict, Verdict::kInconclusive);
+}
+
+TEST(Metamorphic, AlgebraHoldsOnHandWrittenSpec) {
+  StatusOr<ParsedSpec> parsed = ParseSpec(kLiveSpec);
+  ASSERT_TRUE(parsed.ok());
+  std::vector<std::pair<std::string, const HltlProperty*>> props;
+  for (const auto& [name, p] : parsed->properties) {
+    props.emplace_back(name, &p);
+  }
+  AlgebraReport report =
+      CheckPropertyAlgebra(parsed->system, props, VerifierOptions{});
+  EXPECT_TRUE(report.ok()) << report.findings.front().relation << ": "
+                           << report.findings.front().detail;
+  EXPECT_GT(report.relations_checked, 0);
+}
+
+// ----------------------------------------------------------- differential
+
+TEST(Differential, NoHardFindingOnCrossValidatedSpec) {
+  StatusOr<ParsedSpec> parsed = ParseSpec(kLiveSpec);
+  ASSERT_TRUE(parsed.ok());
+  for (const auto& [name, property] : parsed->properties) {
+    DiffReport report = RunDifferential(parsed->system, property);
+    // Soft kinds (suspect/missing witness) are legitimate here — e.g.
+    // `F !{x == null}` HOLDS symbolically while the zero-step finite
+    // prefix satisfies its negation — but hard mismatches and default
+    // disagreements are not.
+    EXPECT_NE(report.kind, DiffReport::Kind::kSymbolicMismatch)
+        << name << ": " << report.detail;
+    EXPECT_NE(report.kind, DiffReport::Kind::kConcreteMismatch)
+        << name << ": " << report.detail;
+    EXPECT_FALSE(IsDisagreement(report, DiffOptions{}))
+        << name << ": " << DiffKindName(report.kind) << "\n"
+        << report.detail;
+  }
+}
+
+TEST(Differential, ViolatedVerdictConfirmedByWitness) {
+  // `G !svc(bind)` is refuted by any run that fires bind — the only
+  // service enabled initially — so every leg agrees: all symbolic
+  // configs say VIOLATED and the bounded search finds a witness. The
+  // post binds x through a relation atom so the concrete side can pick
+  // an ID from the instance's active domain (a bare `x != null` post
+  // is concretely unsatisfiable when the schema is empty).
+  constexpr char kSpec[] = R"(
+system {
+  relation R { }
+  task Main {
+    ids: x;
+    service bind { pre: x == null; post: R(x); }
+    service step { pre: x != null; post: true; }
+  }
+}
+property never_bind { G ! svc(bind) }
+)";
+  StatusOr<ParsedSpec> parsed = ParseSpec(kSpec);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const HltlProperty& p = parsed->properties[0].second;
+  DiffReport report = RunDifferential(parsed->system, p);
+  EXPECT_EQ(report.kind, DiffReport::Kind::kAgreed) << report.detail;
+  EXPECT_EQ(report.verdict, Verdict::kViolated);
+  EXPECT_TRUE(report.witness_found);
+}
+
+TEST(Differential, DeadlockedSystemYieldsSuspectWitnessNotMismatch) {
+  // The engine's run set excludes deadlocked prefixes: a root whose
+  // only service can never fire has NO runs, every verdict is
+  // vacuously HOLDS, and the concrete finite tree satisfying the
+  // negation must be classified as the SOFT suspect-witness kind (see
+  // fuzz/differential.h).
+  constexpr char kDeadlocked[] = R"(
+system {
+  task Main {
+    ids: x;
+    input: x;
+    service stuck { pre: false; post: true; }
+  }
+}
+property ev { (true U svc(stuck)) }
+)";
+  StatusOr<ParsedSpec> parsed = ParseSpec(kDeadlocked);
+  ASSERT_TRUE(parsed.ok());
+  const HltlProperty& p = parsed->properties[0].second;
+  DiffReport report = RunDifferential(parsed->system, p);
+  EXPECT_EQ(report.kind, DiffReport::Kind::kSuspectWitness)
+      << report.detail;
+  // The vacuity probe explains it.
+  EXPECT_NE(report.detail.find("empty run set"), std::string::npos)
+      << report.detail;
+  DiffOptions options;
+  EXPECT_FALSE(IsDisagreement(report, options));
+  options.strict_witness = true;
+  EXPECT_TRUE(IsDisagreement(report, options));
+}
+
+// --------------------------------------------------------------- shrinker
+
+/// Predicate used by the shrinker tests: the spec declares a service
+/// named "keep" somewhere.
+bool HasKeepService(const ParsedSpec& spec) {
+  for (TaskId t = 0; t < static_cast<TaskId>(spec.system.num_tasks());
+       ++t) {
+    for (const auto& svc : spec.system.task(t).services()) {
+      if (svc.name == "keep") return true;
+    }
+  }
+  return false;
+}
+
+constexpr char kShrinkable[] = R"(
+system {
+  relation R { a: num; }
+  relation Unused { b: num; }
+  task Main {
+    ids: x, y;
+    nums: n;
+    set P (x);
+    set Q (y);
+    input: x;
+    service keep { pre: x != null; post: true; insert into P; }
+    service drop1 { pre: true; post: n == 3; }
+    service drop2 { pre: R(x, n); post: true; insert into Q; }
+    task Side {
+      ids: sx;
+      input: sx <- y;
+      open when y != null;
+      close when sx == null;
+      service s { pre: true; post: true; }
+    }
+  }
+}
+property p1 { G {x == null} }
+property p2 { F svc(drop1) }
+)";
+
+TEST(Shrinker, ResultParsesValidatesAndKeepsPredicate) {
+  ShrinkStats stats;
+  StatusOr<std::string> minimal =
+      ShrinkSpec(kShrinkable, HasKeepService, ShrinkOptions{}, &stats);
+  ASSERT_TRUE(minimal.ok()) << minimal.status().ToString();
+  EXPECT_GT(stats.accepted, 0);
+  StatusOr<ParsedSpec> parsed = ParseSpec(*minimal);
+  ASSERT_TRUE(parsed.ok()) << *minimal;
+  EXPECT_TRUE(ValidateSystem(parsed->system).ok());
+  for (const auto& [name, property] : parsed->properties) {
+    EXPECT_TRUE(property.Validate(parsed->system).ok());
+  }
+  EXPECT_TRUE(HasKeepService(*parsed));
+  // The throwaway structure is gone.
+  EXPECT_EQ(parsed->system.num_tasks(), 1);
+  EXPECT_EQ(parsed->properties.size(), 1u);
+}
+
+TEST(Shrinker, PredicateHoldsAtEveryAcceptedStep) {
+  int observed = 0;
+  ShrinkStats stats;
+  StatusOr<std::string> minimal = ShrinkSpec(
+      kShrinkable, HasKeepService, ShrinkOptions{}, &stats,
+      [&observed](const ParsedSpec& spec, const std::string& source) {
+        ++observed;
+        // Every accepted intermediate is itself a valid, committable
+        // spec satisfying the predicate.
+        EXPECT_TRUE(HasKeepService(spec));
+        EXPECT_TRUE(ValidateSystem(spec.system).ok());
+        StatusOr<ParsedSpec> reparsed = ParseSpec(source);
+        EXPECT_TRUE(reparsed.ok());
+      });
+  ASSERT_TRUE(minimal.ok());
+  EXPECT_EQ(observed, stats.accepted);
+}
+
+TEST(Shrinker, ShrinkingIsAFixpoint) {
+  StatusOr<std::string> once =
+      ShrinkSpec(kShrinkable, HasKeepService);
+  ASSERT_TRUE(once.ok());
+  ShrinkStats stats;
+  StatusOr<std::string> twice =
+      ShrinkSpec(*once, HasKeepService, ShrinkOptions{}, &stats);
+  ASSERT_TRUE(twice.ok());
+  EXPECT_EQ(*twice, *once);
+  EXPECT_EQ(stats.accepted, 0);
+}
+
+TEST(Shrinker, RejectsInputsThatFailThePredicate) {
+  StatusOr<std::string> result = ShrinkSpec(
+      kShrinkable, [](const ParsedSpec&) { return false; });
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace has
